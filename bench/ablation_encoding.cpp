@@ -1,0 +1,76 @@
+// Ablation: state/select encodings for ADDM address generation.
+//
+// Section 4 of the paper claims two-hot encoding (one-hot per dimension,
+// decoded for free by the 2-D cell array) "takes up far less area than
+// one-hot encoding" (SFM style, one flip-flop per cell) while incurring no
+// delay penalty. This bench quantifies that claim, plus binary/gray/one-hot
+// symbolic FSM encodings for context.
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+#include "core/sfm.hpp"
+
+namespace {
+
+using namespace addm;
+
+void print_table() {
+  const auto lib = tech::Library::generic_180nm();
+  bench::print_header(
+      "Ablation: encoding cost for the incremental sequence over an NxN array\n"
+      "two-hot = SRAG row+col rings; one-hot = SFM-style ring over all cells");
+  std::printf("%10s %14s %14s %14s %14s\n", "array", "two-hot a", "one-hot a",
+              "two-hot ns", "one-hot ns");
+  for (std::size_t dim = 8; dim <= 64; dim *= 2) {
+    const auto trace = seq::incremental({dim, dim});
+    auto two_hot_build = core::build_srag_2d_for_trace(trace);
+    const auto two_hot = core::measure_netlist(two_hot_build.netlist, lib);
+
+    // One-hot over the whole array: a single token ring with dim*dim stages
+    // (the encoding SFM uses for its pointers).
+    core::SragConfig one_hot_cfg = bench::incremental_srag_config(dim * dim);
+    auto one_hot_nl = core::elaborate_srag(one_hot_cfg);
+    const auto one_hot = core::measure_netlist(one_hot_nl, lib);
+
+    std::printf("%4zux%-5zu %14.0f %14.0f %14.3f %14.3f\n", dim, dim,
+                two_hot.area_units, one_hot.area_units, two_hot.delay_ns,
+                one_hot.delay_ns);
+  }
+  std::printf("\n");
+
+  bench::print_header(
+      "Context: symbolic FSM encodings for the incremental sequence (1-D, N lines)");
+  std::printf("%8s %12s %12s %12s %12s %12s %12s\n", "N", "binary a", "gray a",
+              "onehot a", "binary ns", "gray ns", "onehot ns");
+  for (std::size_t n = 16; n <= 128; n *= 2) {
+    auto measure = [&](synth::FsmEncoding enc) {
+      auto nl = bench::incremental_fsm_netlist(n, enc, true);
+      return core::measure_netlist(nl, lib);
+    };
+    const auto bin = measure(synth::FsmEncoding::Binary);
+    const auto gray = measure(synth::FsmEncoding::Gray);
+    const auto one = measure(synth::FsmEncoding::OneHot);
+    std::printf("%8zu %12.0f %12.0f %12.0f %12.3f %12.3f %12.3f\n", n, bin.area_units,
+                gray.area_units, one.area_units, bin.delay_ns, gray.delay_ns,
+                one.delay_ns);
+  }
+  std::printf("\n");
+}
+
+void BM_TwoHotElaboration(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto build = core::build_srag_2d_for_trace(seq::incremental({dim, dim}));
+    benchmark::DoNotOptimize(build.netlist.stats().num_cells);
+  }
+}
+BENCHMARK(BM_TwoHotElaboration)->Arg(32);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Ablation: how much structural sharing (hash-consing) changes the area and
+// delay of synthesized decode logic. This brackets the behaviour of the
+// paper's 2002 synthesis flow, whose results sit between our "flat"
+// (sharing-free) and "hashed" (fully shared) modes — it is the knob that
+// explains the residual divergence in Figure 4 (see EXPERIMENTS.md).
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace addm;
+
+void print_fsm_table() {
+  const auto lib = tech::Library::generic_180nm();
+  bench::print_header(
+      "Ablation A: literal sharing in symbolic-FSM synthesis (incremental seq)");
+  std::printf("%8s %14s %14s %12s %12s\n", "N", "flat area", "hashed area", "flat ns",
+              "hashed ns");
+  for (std::size_t n = 16; n <= 256; n *= 2) {
+    auto flat_nl = bench::incremental_fsm_netlist(n, synth::FsmEncoding::Binary, true);
+    const auto flat = core::measure_netlist(flat_nl, lib);
+    auto hash_nl = bench::incremental_fsm_netlist(n, synth::FsmEncoding::Binary, false);
+    const auto hashed = core::measure_netlist(hash_nl, lib);
+    std::printf("%8zu %14.0f %14.0f %12.3f %12.3f\n", n, flat.area_units,
+                hashed.area_units, flat.delay_ns, hashed.delay_ns);
+  }
+  std::printf("\n");
+}
+
+void print_decoder_table() {
+  const auto lib = tech::Library::generic_180nm();
+  bench::print_header(
+      "Ablation B: decoder construction style (area & delay, standalone decoder)");
+  std::printf("%8s %12s %12s %12s %12s %12s %12s\n", "lines", "chain a", "balanced a",
+              "flat a", "chain ns", "balanced ns", "flat ns");
+  for (std::size_t lines = 16; lines <= 256; lines *= 2) {
+    auto measure = [&](synth::DecoderStyle style) {
+      netlist::Netlist nl;
+      netlist::NetlistBuilder b(nl);
+      const auto addr = b.input_bus("a", synth::bits_for(lines));
+      b.output_bus("y", synth::build_decoder(b, addr, lines, netlist::kConst1, style));
+      return core::measure_netlist(nl, lib);
+    };
+    const auto chain = measure(synth::DecoderStyle::SharedChain);
+    const auto bal = measure(synth::DecoderStyle::SharedBalanced);
+    const auto flat = measure(synth::DecoderStyle::Flat);
+    std::printf("%8zu %12.0f %12.0f %12.0f %12.3f %12.3f %12.3f\n", lines,
+                chain.area_units, bal.area_units, flat.area_units, chain.delay_ns,
+                bal.delay_ns, flat.delay_ns);
+  }
+  std::printf("\ninsight: a balanced predecoded decoder (modern flow) closes part of the\n"
+              "SRAG delay advantage; the 2002 chain style is what the paper measured.\n\n");
+}
+
+void print_cntag_style_table() {
+  const auto lib = tech::Library::generic_180nm();
+  bench::print_header("Ablation C: CntAG with 2002 chain vs modern predecoded decoders");
+  std::printf("%10s %16s %18s %12s\n", "array", "CntAG-2002 ns", "CntAG-modern ns",
+              "SRAG ns");
+  for (std::size_t dim = 16; dim <= 256; dim *= 2) {
+    const auto trace = bench::fig8_read_trace(dim);
+    const auto chain =
+        bench::cntag_components(trace, lib, synth::DecoderStyle::SharedChain);
+    const auto bal =
+        bench::cntag_components(trace, lib, synth::DecoderStyle::SharedBalanced);
+    const auto srag = bench::srag_metrics(trace, lib);
+    std::printf("%4zux%-5zu %16.3f %18.3f %12.3f\n", dim, dim, chain.total_ns(),
+                bal.total_ns(), srag.delay_ns);
+  }
+  std::printf("\n");
+}
+
+void BM_DecoderConstruction(benchmark::State& state) {
+  const auto style = static_cast<synth::DecoderStyle>(state.range(0));
+  for (auto _ : state) {
+    netlist::Netlist nl;
+    netlist::NetlistBuilder b(nl);
+    const auto addr = b.input_bus("a", 8);
+    b.output_bus("y", synth::build_decoder(b, addr, 256, netlist::kConst1, style));
+    benchmark::DoNotOptimize(nl.stats().num_cells);
+  }
+}
+BENCHMARK(BM_DecoderConstruction)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fsm_table();
+  print_decoder_table();
+  print_cntag_style_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Shared helpers for the reproduction benches: canonical circuit builders
+// for the paper's experiments and fixed-width table printing.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/cntag.hpp"
+#include "core/metrics.hpp"
+#include "core/srag_config.hpp"
+#include "core/srag_elab.hpp"
+#include "netlist/builder.hpp"
+#include "seq/workloads.hpp"
+#include "synth/counter.hpp"
+#include "synth/decoder.hpp"
+#include "synth/fsm.hpp"
+#include "tech/library.hpp"
+
+namespace addm::bench {
+
+/// 1-D shift-register address generator for the incremental sequence
+/// 0..n-1 (the Section-3 "shift register" solution: a token ring).
+inline core::SragConfig incremental_srag_config(std::size_t n) {
+  core::SragConfig cfg;
+  cfg.registers.resize(1);
+  cfg.registers[0].resize(n);
+  for (std::size_t i = 0; i < n; ++i) cfg.registers[0][i] = static_cast<std::uint32_t>(i);
+  cfg.div_count = 1;
+  cfg.pass_count = static_cast<std::uint32_t>(n);
+  cfg.num_select_lines = static_cast<std::uint32_t>(n);
+  return cfg;
+}
+
+/// The Section-3 "symbolic state machine" for the same sequence: N states,
+/// binary-encoded, flat-mapped select-line outputs.
+inline netlist::Netlist incremental_fsm_netlist(std::size_t n, synth::FsmEncoding enc,
+                                                bool flat) {
+  synth::FsmSpec spec;
+  spec.next_state.resize(n);
+  spec.select_of_state.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    spec.next_state[i] = static_cast<std::uint32_t>((i + 1) % n);
+    spec.select_of_state[i] = static_cast<std::uint32_t>(i);
+  }
+  spec.num_select_lines = n;
+
+  netlist::Netlist nl;
+  netlist::NetlistBuilder b(nl);
+  const auto next = b.input("next");
+  const auto reset = b.input("reset");
+  const auto ports = synth::build_fsm(b, spec, next, reset, synth::FsmStyle{enc, flat});
+  b.output_bus("sel", ports.select);
+  return nl;
+}
+
+/// The motion-estimation read trace used for Figures 8-10: square image,
+/// 8x8 macroblocks (16x16 images use 4 blocks), m=0 — see DESIGN.md.
+inline seq::AddressTrace fig8_read_trace(std::size_t array_dim) {
+  seq::MotionEstimationParams p;
+  p.img_width = p.img_height = array_dim;
+  p.mb_width = p.mb_height = 8;
+  p.m = 0;
+  return seq::motion_estimation_read(p);
+}
+
+/// Figure-9 style component breakdown of a CntAG for `trace`, and the
+/// paper's CntAG delay metric: "the total delay is the sum of the counter
+/// delay and the worst of the row or the column decoder delay".
+struct CntAgComponents {
+  double counter_ns = 0.0;
+  double row_decoder_ns = 0.0;
+  double col_decoder_ns = 0.0;
+  double total_ns() const {
+    return counter_ns + std::max(row_decoder_ns, col_decoder_ns);
+  }
+};
+
+inline CntAgComponents cntag_components(const seq::AddressTrace& trace,
+                                        const tech::Library& lib,
+                                        synth::DecoderStyle style =
+                                            synth::DecoderStyle::SharedChain) {
+  CntAgComponents c;
+  {
+    netlist::Netlist nl;
+    netlist::NetlistBuilder b(nl);
+    synth::CounterSpec spec;
+    spec.bits = synth::bits_for(trace.length());
+    spec.modulo = trace.length();
+    spec.cascade_digit_bits = 4;
+    const auto ports = synth::build_counter(b, spec, b.input("next"), b.input("reset"));
+    b.output_bus("q", ports.q);
+    c.counter_ns = core::measure_netlist(nl, lib).reg_to_reg_ns;
+  }
+  auto decoder_delay = [&](std::size_t lines) {
+    netlist::Netlist nl;
+    netlist::NetlistBuilder b(nl);
+    const auto addr = b.input_bus("a", synth::bits_for(lines));
+    b.output_bus("y", synth::build_decoder(b, addr, lines, netlist::kConst1, style));
+    return core::measure_netlist(nl, lib).delay_ns;
+  };
+  c.row_decoder_ns = decoder_delay(trace.geometry().height);
+  c.col_decoder_ns = decoder_delay(trace.geometry().width);
+  return c;
+}
+
+/// SRAG delay/area for a 2-D trace via the standard measurement pipeline.
+inline core::GeneratorMetrics srag_metrics(const seq::AddressTrace& trace,
+                                           const tech::Library& lib) {
+  auto build = core::build_srag_2d_for_trace(trace);
+  return core::measure_netlist(build.netlist, lib);
+}
+
+/// CntAG area via the full netlist; delay via the paper's sum metric.
+struct CntAgMetrics {
+  double area_units = 0.0;
+  double delay_ns = 0.0;
+  std::size_t cells = 0;
+};
+
+inline CntAgMetrics cntag_metrics(const seq::AddressTrace& trace,
+                                  const tech::Library& lib) {
+  CntAgMetrics m;
+  netlist::Netlist nl = core::elaborate_cntag(trace, {});
+  const auto full = core::measure_netlist(nl, lib);
+  m.area_units = full.area_units;
+  m.cells = full.cells;
+  m.delay_ns = cntag_components(trace, lib).total_ns();
+  return m;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace addm::bench

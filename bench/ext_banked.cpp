@@ -1,0 +1,78 @@
+// Extension experiment: banked/distributed ADDM (paper Section 7: "the
+// interconnect and routing costs should also be considered"). Sweeps the
+// banking degree for a fixed array and reports the trade: shorter worst-case
+// select lines (routing/capacitance win) versus replicated select bundles
+// and per-bank generator overhead.
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+#include "memory/banked_addm.hpp"
+
+namespace {
+
+using namespace addm;
+
+void print_table() {
+  const auto lib = tech::Library::generic_180nm();
+  const seq::ArrayGeometry g{256, 256};
+  bench::print_header(
+      "Extension: banked ADDM interconnect/generator trade (256x256 array)");
+  std::printf("%8s %14s %14s %18s %18s\n", "banks", "select wires", "max line",
+              "generator area", "generator ns");
+  const auto mono = memory::BankedAddm::monolithic_cost(g);
+  for (std::size_t banks : {1u, 2u, 4u, 8u, 16u}) {
+    memory::BankedAddm mem(g, banks);
+    const auto cost = mem.interconnect_cost();
+
+    // Per-bank column generators: each bank scans its own column range, so
+    // the column SRAG ring shrinks to width/banks stages; the row ring is
+    // shared across banks. Model the generator side as row ring + banks *
+    // bank-column rings (FIFO access).
+    double gen_area = 0.0, gen_delay = 0.0;
+    {
+      const seq::ArrayGeometry bank_geom = mem.bank_geometry();
+      auto col_cfg = bench::incremental_srag_config(bank_geom.width);
+      auto row_cfg = bench::incremental_srag_config(g.height);
+      netlist::Netlist nl;
+      netlist::NetlistBuilder b(nl);
+      const auto next = b.input("next");
+      const auto reset = b.input("reset");
+      const auto row = core::build_srag(b, row_cfg, next, reset);
+      b.output_bus("rs", row.select);
+      for (std::size_t i = 0; i < banks; ++i) {
+        const auto col = core::build_srag(b, col_cfg, next, reset);
+        b.output_bus("cs" + std::to_string(i), col.select);
+      }
+      const auto m = core::measure_netlist(nl, lib);
+      gen_area = m.area_units;
+      gen_delay = m.delay_ns;
+    }
+
+    std::printf("%8zu %14zu %14.0f %18.0f %18.3f\n", banks, cost.select_wires,
+                cost.max_line_length_units, gen_area, gen_delay);
+  }
+  std::printf("monolithic reference: %zu wires, max line %.0f\n\n", mono.select_wires,
+              mono.max_line_length_units);
+}
+
+void BM_BankedAccess(benchmark::State& state) {
+  const seq::ArrayGeometry g{64, 64};
+  memory::BankedAddm mem(g, static_cast<std::size_t>(state.range(0)));
+  const auto bg = mem.bank_geometry();
+  std::vector<std::uint8_t> bank(mem.num_banks(), 0), rs(bg.height, 0), cs(bg.width, 0);
+  bank[0] = rs[3] = cs[5] = 1;
+  for (auto _ : state) {
+    mem.write(bank, rs, cs, 42);
+    benchmark::DoNotOptimize(mem.read(bank, rs, cs));
+  }
+}
+BENCHMARK(BM_BankedAccess)->Arg(1)->Arg(4)->Arg(16);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Extension experiment: the multi-counter SRAG (Section 4's proposed
+// relaxation / Section 7 future work). Measures (a) how much of a mixed
+// workload population each mapper variant covers, and (b) the hardware cost
+// of the extra per-register counters on sequences both can map.
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+#include "core/multicounter.hpp"
+#include "core/srag_mapper.hpp"
+
+namespace {
+
+using namespace addm;
+
+// A population of row/column sequences drawn from workloads plus synthetic
+// irregular-iteration patterns.
+std::vector<std::pair<std::string, std::vector<std::uint32_t>>> population() {
+  std::vector<std::pair<std::string, std::vector<std::uint32_t>>> seqs;
+  for (std::size_t dim : {8u, 16u, 32u}) {
+    const seq::ArrayGeometry g{dim, dim};
+    seq::MotionEstimationParams p;
+    p.img_width = p.img_height = dim;
+    p.mb_width = p.mb_height = 4;
+    p.m = 0;
+    seqs.push_back({"me_rows_" + std::to_string(dim), seq::motion_estimation_read(p).rows()});
+    seqs.push_back({"me_cols_" + std::to_string(dim), seq::motion_estimation_read(p).cols()});
+    seqs.push_back({"zoom_rows_" + std::to_string(dim), seq::zoom_by_two_read(g).rows()});
+    seqs.push_back({"dct_cols_" + std::to_string(dim),
+                    seq::dct_block_column_read(g, 4).cols()});
+  }
+  // Unequal per-block revisit counts (the paper's own PassCnt counter-example
+  // family): block A visited j times, block B visited k times.
+  for (std::uint32_t j : {1u, 2u, 3u}) {
+    for (std::uint32_t k : {1u, 2u}) {
+      if (j == k) continue;
+      std::vector<std::uint32_t> s;
+      for (std::uint32_t r = 0; r < j; ++r)
+        for (std::uint32_t a : {0u, 1u, 2u, 3u}) s.push_back(a);
+      for (std::uint32_t r = 0; r < k; ++r)
+        for (std::uint32_t a : {4u, 5u, 6u, 7u}) s.push_back(a);
+      seqs.push_back({"revisit_" + std::to_string(j) + "_" + std::to_string(k), s});
+    }
+  }
+  return seqs;
+}
+
+void print_table() {
+  const auto lib = tech::Library::generic_180nm();
+  bench::print_header(
+      "Extension: multi-counter SRAG coverage and cost\n"
+      "(per-register PassCnt lifts the uniform-pass-count restriction)");
+
+  int single_ok = 0, multi_ok = 0, total = 0;
+  std::printf("%-18s %12s %12s\n", "sequence", "single-cnt", "multi-cnt");
+  for (const auto& [name, s] : population()) {
+    const bool single = core::map_sequence(s).ok();
+    const auto multi = core::map_sequence_multicounter(s);
+    std::printf("%-18s %12s %12s\n", name.c_str(), single ? "maps" : "-",
+                multi.ok() ? "maps" : "-");
+    ++total;
+    single_ok += single;
+    multi_ok += multi.ok();
+  }
+  std::printf("coverage: single-counter %d/%d, multi-counter %d/%d\n\n", single_ok, total,
+              multi_ok, total);
+
+  // Hardware cost on the paper's own counter-example (multi-counter only).
+  const std::vector<std::uint32_t> I{5, 1, 4, 0, 5, 1, 4, 0, 5, 1, 4, 0,
+                                     3, 7, 6, 2, 3, 7, 6, 2};
+  const auto multi = core::map_sequence_multicounter(I, 8);
+  if (multi.ok()) {
+    auto nl = core::elaborate_multi_srag(*multi.config);
+    const auto m = core::measure_netlist(nl, lib);
+    std::printf("paper's PassCnt counter-example, multi-counter SRAG: %zu cells, "
+                "area %.0f units, crit %.3f ns\n\n",
+                m.cells, m.area_units, m.delay_ns);
+  }
+}
+
+void BM_MultiMapper(benchmark::State& state) {
+  seq::MotionEstimationParams p;
+  p.img_width = p.img_height = 64;
+  p.mb_width = p.mb_height = 8;
+  p.m = 0;
+  const auto rows = seq::motion_estimation_read(p).rows();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::map_sequence_multicounter(rows, 64).ok());
+}
+BENCHMARK(BM_MultiMapper);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Extension experiment: activity-based dynamic power of SRAG vs CntAG (the
+// paper's Section 7 expects decoder decoupling to reduce power but defers
+// the study). We simulate both generators through a full pass of the
+// motion-estimation read sequence, count per-net toggles, and apply the
+// library's energy model at each generator's own critical-path clock period.
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+#include "sim/simulator.hpp"
+#include "tech/power.hpp"
+
+namespace {
+
+using namespace addm;
+
+struct PowerRow {
+  tech::PowerReport report;
+  double clock_ns;
+};
+
+PowerRow simulate_power(netlist::Netlist& nl, double clock_ns, std::size_t cycles) {
+  sim::Simulator s(nl);
+  s.enable_toggle_counting();
+  s.set("reset", true);
+  s.set("next", false);
+  s.step();
+  s.set("reset", false);
+  s.set("next", true);
+  s.run(cycles);
+  const auto lib = tech::Library::generic_180nm();
+  return {tech::estimate_power(nl, lib, s.toggles(), clock_ns * static_cast<double>(cycles)),
+          clock_ns};
+}
+
+void print_table() {
+  const auto lib = tech::Library::generic_180nm();
+  bench::print_header(
+      "Extension: dynamic power, SRAG vs CntAG (motion est read, full pass)\n"
+      "paper Section 7: decoder decoupling is expected to reduce power");
+  std::printf("%10s %14s %14s %14s %14s %9s\n", "array", "SRAG mW", "CntAG mW",
+              "SRAG pJ/acc", "CntAG pJ/acc", "ratio");
+  for (std::size_t dim = 16; dim <= 64; dim *= 2) {
+    const auto trace = bench::fig8_read_trace(dim);
+    const std::size_t cycles = trace.length();
+
+    auto srag_build = core::build_srag_2d_for_trace(trace);
+    const double srag_clk = core::measure_netlist(srag_build.netlist, lib).delay_ns;
+    auto srag = simulate_power(srag_build.netlist, srag_clk, cycles);
+
+    auto cnt_nl = core::elaborate_cntag(trace, {});
+    const double cnt_clk = bench::cntag_metrics(trace, lib).delay_ns;
+    tech::insert_buffers(cnt_nl);
+    auto cnt = simulate_power(cnt_nl, cnt_clk, cycles);
+
+    const double srag_pj = srag.report.total_energy_pj / static_cast<double>(cycles);
+    const double cnt_pj = cnt.report.total_energy_pj / static_cast<double>(cycles);
+    std::printf("%4zux%-5zu %14.3f %14.3f %14.3f %14.3f %9.2f\n", dim, dim,
+                srag.report.avg_power_mw, cnt.report.avg_power_mw, srag_pj, cnt_pj,
+                cnt_pj / srag_pj);
+  }
+  std::printf("\n(energy per access: SRAG toggles only the token edge plus its control\n"
+              "counters; CntAG toggles counter bits, transform and decoder cones.)\n\n");
+}
+
+void BM_PowerSimulation(benchmark::State& state) {
+  const auto trace = bench::fig8_read_trace(16);
+  auto build = core::build_srag_2d_for_trace(trace);
+  for (auto _ : state) {
+    auto nl = build.netlist;  // fresh copy
+    benchmark::DoNotOptimize(simulate_power(nl, 1.0, trace.length()).report.total_toggles);
+  }
+}
+BENCHMARK(BM_PowerSimulation);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Extension experiment: shared-control 2-D SRAG (the paper's Section-7 area
+// reduction: "reuse of control circuitry between the row and the column
+// address sequences"). Compares independent vs shared composition across
+// workloads and array sizes.
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+#include "core/shared_control.hpp"
+#include "core/srag_mapper.hpp"
+
+namespace {
+
+using namespace addm;
+
+const char* sharing_name(core::ControlSharing s) {
+  switch (s) {
+    case core::ControlSharing::None: return "none";
+    case core::ControlSharing::ColumnEnable: return "enable";
+    case core::ControlSharing::ColumnCycle: return "cycle";
+    case core::ControlSharing::ColumnCycleScaled: return "cycle+cnt";
+  }
+  return "?";
+}
+
+void print_table() {
+  const auto lib = tech::Library::generic_180nm();
+  bench::print_header(
+      "Extension: shared-control 2-D SRAG (paper Section 7 future work)\n"
+      "row enable derived from column-generator events instead of a DivCnt");
+
+  struct Case {
+    const char* name;
+    seq::AddressTrace trace;
+  };
+  for (std::size_t dim : {16u, 64u, 256u}) {
+    seq::MotionEstimationParams p;
+    p.img_width = p.img_height = dim;
+    p.mb_width = p.mb_height = 8;
+    p.m = 0;
+    const Case cases[] = {
+        {"fifo", seq::incremental({dim, dim})},
+        {"motion_est", seq::motion_estimation_read(p)},
+        {"zoom", seq::zoom_by_two_read({dim, dim})},
+    };
+    std::printf("array %zux%zu\n", dim, dim);
+    std::printf("  %-12s %10s %12s %12s %10s %10s\n", "workload", "mode", "indep a",
+                "shared a", "saved", "delay d");
+    for (const auto& c : cases) {
+      auto rm = core::map_sequence(c.trace.rows(),
+                                   static_cast<std::uint32_t>(c.trace.geometry().height));
+      auto cm = core::map_sequence(c.trace.cols(),
+                                   static_cast<std::uint32_t>(c.trace.geometry().width));
+      if (!rm.ok() || !cm.ok()) continue;
+
+      netlist::Netlist indep_nl = core::elaborate_srag_2d(*rm.config, *cm.config);
+      const auto indep = core::measure_netlist(indep_nl, lib);
+
+      core::ControlSharing sharing;
+      netlist::Netlist shared_nl =
+          core::elaborate_srag_2d_shared(*rm.config, *cm.config, &sharing);
+      const auto shared = core::measure_netlist(shared_nl, lib);
+
+      std::printf("  %-12s %10s %12.0f %12.0f %9.1f%% %+9.3f\n", c.name,
+                  sharing_name(sharing), indep.area_units, shared.area_units,
+                  100.0 * (indep.area_units - shared.area_units) / indep.area_units,
+                  shared.delay_ns - indep.delay_ns);
+    }
+  }
+  std::printf("\n");
+}
+
+void BM_SharedElaboration(benchmark::State& state) {
+  const auto trace = bench::fig8_read_trace(64);
+  auto rm = core::map_sequence(trace.rows(), 64);
+  auto cm = core::map_sequence(trace.cols(), 64);
+  for (auto _ : state) {
+    auto nl = core::elaborate_srag_2d_shared(*rm.config, *cm.config);
+    benchmark::DoNotOptimize(nl.stats().num_cells);
+  }
+}
+BENCHMARK(BM_SharedElaboration);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

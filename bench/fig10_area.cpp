@@ -1,0 +1,54 @@
+// Figure 10 reproduction: address-generator area, SRAG vs CntAG, read and
+// write sequences, array sizes 16x16 .. 256x256.
+//
+// Paper reference points: SRAG grows to ~3x10^4 cell units at 256x256; CntAG
+// stays near 1x10^4; "SRAG ... is also approximately three times larger in
+// area". The paper argues this is acceptable because the generator is a
+// small fraction of the total memory macro.
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace addm;
+
+void print_table() {
+  const auto lib = tech::Library::generic_180nm();
+  bench::print_header(
+      "Figure 10: generator area vs array size (cell units)\n"
+      "paper shape: SRAG ~3x CntAG; SRAG ~3e4 units at 256x256");
+  std::printf("%10s %12s %12s %12s %12s %10s\n", "array", "SRAG(wr)", "CntAG(wr)",
+              "SRAG(rd)", "CntAG(rd)", "rd-ratio");
+  for (std::size_t dim = 16; dim <= 256; dim *= 2) {
+    const auto write_trace = seq::incremental({dim, dim});
+    const auto read_trace = bench::fig8_read_trace(dim);
+
+    const auto srag_wr = bench::srag_metrics(write_trace, lib);
+    const auto cnt_wr = bench::cntag_metrics(write_trace, lib);
+    const auto srag_rd = bench::srag_metrics(read_trace, lib);
+    const auto cnt_rd = bench::cntag_metrics(read_trace, lib);
+
+    std::printf("%4zux%-5zu %12.0f %12.0f %12.0f %12.0f %10.2f\n", dim, dim,
+                srag_wr.area_units, cnt_wr.area_units, srag_rd.area_units,
+                cnt_rd.area_units, srag_rd.area_units / cnt_rd.area_units);
+  }
+  std::printf("\n");
+}
+
+void BM_SragArea(benchmark::State& state) {
+  const auto lib = tech::Library::generic_180nm();
+  const auto trace = bench::fig8_read_trace(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(bench::srag_metrics(trace, lib).area_units);
+}
+BENCHMARK(BM_SragArea)->Arg(128);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 3 reproduction: delay through the address generator (shift register
+// vs symbolic state machine) for incremental address sequences of length
+// N = 8..256.
+//
+// Paper reference points (0.18um, Design Compiler): shift register ~0.9-1.0ns
+// nearly flat; symbolic FSM ~1.8-2.3ns, over twice the shift register.
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace addm;
+
+void print_table() {
+  const auto lib = tech::Library::generic_180nm();
+  bench::print_header(
+      "Figure 3: address generator delay vs sequence length (incremental)\n"
+      "paper shape: shift register flat ~1ns; symbolic FSM >2x slower");
+  std::printf("%8s %18s %24s %8s\n", "N", "shift-reg delay/ns", "symbolic-FSM delay/ns",
+              "ratio");
+  for (std::size_t n = 8; n <= 256; n *= 2) {
+    auto sr_nl = core::elaborate_srag(bench::incremental_srag_config(n));
+    const auto sr = core::measure_netlist(sr_nl, lib);
+
+    auto fsm_nl = bench::incremental_fsm_netlist(n, synth::FsmEncoding::Binary,
+                                                 /*flat=*/true);
+    const auto fsm = core::measure_netlist(fsm_nl, lib);
+
+    std::printf("%8zu %18.3f %24.3f %8.2f\n", n, sr.delay_ns, fsm.delay_ns,
+                fsm.delay_ns / sr.delay_ns);
+  }
+  std::printf("\n");
+}
+
+void BM_ShiftRegisterElaborate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto lib = tech::Library::generic_180nm();
+  for (auto _ : state) {
+    auto nl = core::elaborate_srag(bench::incremental_srag_config(n));
+    benchmark::DoNotOptimize(core::measure_netlist(nl, lib));
+  }
+}
+BENCHMARK(BM_ShiftRegisterElaborate)->Arg(64)->Arg(256);
+
+void BM_SymbolicFsmSynthesize(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto lib = tech::Library::generic_180nm();
+  for (auto _ : state) {
+    auto nl = bench::incremental_fsm_netlist(n, synth::FsmEncoding::Binary, true);
+    benchmark::DoNotOptimize(core::measure_netlist(nl, lib));
+  }
+}
+BENCHMARK(BM_SymbolicFsmSynthesize)->Arg(64)->Arg(256);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 4 reproduction: area of the address generator (shift register vs
+// symbolic state machine) for incremental sequences, N = 8..256.
+//
+// Paper reference points (0.18um, Design Compiler): both grow roughly
+// linearly; at N=256 the FSM is ~11k cell units and the shift register ~12k
+// (about 10% larger). Our flat and hashed synthesis modes bracket the
+// sharing Design Compiler found; see EXPERIMENTS.md.
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace addm;
+
+void print_table() {
+  const auto lib = tech::Library::generic_180nm();
+  bench::print_header(
+      "Figure 4: address generator area vs sequence length (incremental)\n"
+      "paper shape: both linear-ish; shift register ~1.1x the FSM at N=256");
+  std::printf("%8s %14s %16s %18s %12s %12s\n", "N", "shift-reg", "FSM(flat)",
+              "FSM(hashed)", "SR/FSMflat", "SR/FSMhash");
+  for (std::size_t n = 8; n <= 256; n *= 2) {
+    auto sr_nl = core::elaborate_srag(bench::incremental_srag_config(n));
+    const auto sr = core::measure_netlist(sr_nl, lib);
+
+    auto flat_nl = bench::incremental_fsm_netlist(n, synth::FsmEncoding::Binary, true);
+    const auto flat = core::measure_netlist(flat_nl, lib);
+
+    auto hash_nl = bench::incremental_fsm_netlist(n, synth::FsmEncoding::Binary, false);
+    const auto hashed = core::measure_netlist(hash_nl, lib);
+
+    std::printf("%8zu %14.0f %16.0f %18.0f %12.2f %12.2f\n", n, sr.area_units,
+                flat.area_units, hashed.area_units, sr.area_units / flat.area_units,
+                sr.area_units / hashed.area_units);
+  }
+  std::printf("\n");
+}
+
+void BM_AreaAnalysis(benchmark::State& state) {
+  const auto lib = tech::Library::generic_180nm();
+  auto nl = core::elaborate_srag(
+      bench::incremental_srag_config(static_cast<std::size_t>(state.range(0))));
+  tech::insert_buffers(nl);
+  for (auto _ : state) benchmark::DoNotOptimize(tech::analyze_area(nl, lib));
+}
+BENCHMARK(BM_AreaAnalysis)->Arg(256);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

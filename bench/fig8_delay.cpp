@@ -1,0 +1,66 @@
+// Figure 8 reproduction: address-generator delay, SRAG vs CntAG, for read
+// (block-matching motion estimation, 8x8 macroblocks, m=0) and write
+// (incremental) sequences over array sizes 16x16 .. 256x256.
+//
+// Metrics (see EXPERIMENTS.md): SRAG delay is the buffered netlist's critical
+// path; CntAG delay follows the paper's own formula — counter delay plus the
+// worst of the row/column decoder delays (Figure 9's caption).
+//
+// Paper reference points: SRAG ~0.8-1.1ns nearly flat; CntAG ~1.4ns at 16x16
+// growing to ~2.5ns at 256x256; "SRAG is on average approximately twice as
+// fast as the CntAG".
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace addm;
+
+void print_table() {
+  const auto lib = tech::Library::generic_180nm();
+  bench::print_header(
+      "Figure 8: generator delay vs array size (ns)\n"
+      "paper shape: SRAG flat ~1ns; CntAG grows, decoder-dominated");
+  std::printf("%10s %12s %12s %12s %12s %8s\n", "array", "SRAG(wr)", "CntAG(wr)",
+              "SRAG(rd)", "CntAG(rd)", "rd-ratio");
+  for (std::size_t dim = 16; dim <= 256; dim *= 2) {
+    const auto write_trace = seq::incremental({dim, dim});
+    const auto read_trace = bench::fig8_read_trace(dim);
+
+    const auto srag_wr = bench::srag_metrics(write_trace, lib);
+    const auto cnt_wr = bench::cntag_metrics(write_trace, lib);
+    const auto srag_rd = bench::srag_metrics(read_trace, lib);
+    const auto cnt_rd = bench::cntag_metrics(read_trace, lib);
+
+    std::printf("%4zux%-5zu %12.3f %12.3f %12.3f %12.3f %8.2f\n", dim, dim,
+                srag_wr.delay_ns, cnt_wr.delay_ns, srag_rd.delay_ns, cnt_rd.delay_ns,
+                cnt_rd.delay_ns / srag_rd.delay_ns);
+  }
+  std::printf("\n");
+}
+
+void BM_SragPipeline(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const auto lib = tech::Library::generic_180nm();
+  const auto trace = bench::fig8_read_trace(dim);
+  for (auto _ : state) benchmark::DoNotOptimize(bench::srag_metrics(trace, lib).delay_ns);
+}
+BENCHMARK(BM_SragPipeline)->Arg(64);
+
+void BM_CntAgPipeline(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const auto lib = tech::Library::generic_180nm();
+  const auto trace = bench::fig8_read_trace(dim);
+  for (auto _ : state) benchmark::DoNotOptimize(bench::cntag_metrics(trace, lib).delay_ns);
+}
+BENCHMARK(BM_CntAgPipeline)->Arg(64);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 9 reproduction: delay of the CntAG's components — sequence counter,
+// row decoder, column decoder — across array sizes. The paper's observation:
+// the counter stays nearly flat while the decoder delay grows with array
+// size and comes to dominate.
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace addm;
+
+void print_table() {
+  const auto lib = tech::Library::generic_180nm();
+  bench::print_header(
+      "Figure 9: CntAG component delays (ns)\n"
+      "paper shape: counter ~flat; decoders grow and dominate at large N");
+  std::printf("%10s %10s %14s %14s %10s\n", "array", "counter", "row decoder",
+              "col decoder", "total");
+  for (std::size_t dim = 16; dim <= 256; dim *= 2) {
+    const auto trace = bench::fig8_read_trace(dim);
+    const auto c = bench::cntag_components(trace, lib);
+    std::printf("%4zux%-5zu %10.3f %14.3f %14.3f %10.3f\n", dim, dim, c.counter_ns,
+                c.row_decoder_ns, c.col_decoder_ns, c.total_ns());
+  }
+  std::printf("\ndecoder growth check: col decoder at 256x256 vs 16x16: ");
+  const auto small = bench::cntag_components(bench::fig8_read_trace(16), lib);
+  const auto large = bench::cntag_components(bench::fig8_read_trace(256), lib);
+  std::printf("%.2fx (paper: ~2.9x)\n\n", large.col_decoder_ns / small.col_decoder_ns);
+}
+
+void BM_ComponentAnalysis(benchmark::State& state) {
+  const auto lib = tech::Library::generic_180nm();
+  const auto trace = bench::fig8_read_trace(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(bench::cntag_components(trace, lib).total_ns());
+}
+BENCHMARK(BM_ComponentAnalysis)->Arg(64)->Arg(256);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Host-performance benchmarks (google-benchmark proper): throughput of the
+// library's hot paths — mapping, elaboration, cycle simulation, STA, logic
+// minimization. These are the costs a user of this library pays, not paper
+// quantities.
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+#include "core/srag_mapper.hpp"
+#include "logic/isop.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace addm;
+
+void BM_MapSequence(benchmark::State& state) {
+  seq::MotionEstimationParams p;
+  p.img_width = p.img_height = static_cast<std::size_t>(state.range(0));
+  p.mb_width = p.mb_height = 8;
+  p.m = 0;
+  const auto rows = seq::motion_estimation_read(p).rows();
+  for (auto _ : state) benchmark::DoNotOptimize(core::map_sequence(rows).ok());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows.size()));
+}
+BENCHMARK(BM_MapSequence)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_Srag2dElaboration(benchmark::State& state) {
+  const auto trace = bench::fig8_read_trace(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto build = core::build_srag_2d_for_trace(trace);
+    benchmark::DoNotOptimize(build.netlist.stats().num_cells);
+  }
+}
+BENCHMARK(BM_Srag2dElaboration)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_CycleSimulation(benchmark::State& state) {
+  const auto trace = bench::fig8_read_trace(static_cast<std::size_t>(state.range(0)));
+  auto build = core::build_srag_2d_for_trace(trace);
+  sim::Simulator s(build.netlist);
+  s.set("reset", true);
+  s.set("next", false);
+  s.step();
+  s.set("reset", false);
+  s.set("next", true);
+  for (auto _ : state) s.step();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CycleSimulation)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_StaticTiming(benchmark::State& state) {
+  const auto lib = tech::Library::generic_180nm();
+  auto build = core::build_srag_2d_for_trace(
+      bench::fig8_read_trace(static_cast<std::size_t>(state.range(0))));
+  tech::insert_buffers(build.netlist);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(tech::analyze_timing(build.netlist, lib).critical_path_ns);
+}
+BENCHMARK(BM_StaticTiming)->Arg(64)->Arg(256);
+
+void BM_IsopMinimization(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  logic::TruthTable f(n);
+  // A decode-like onset: every 5th minterm.
+  for (std::uint64_t m = 0; m < f.num_minterms_capacity(); m += 5) f.set(m, true);
+  for (auto _ : state) benchmark::DoNotOptimize(logic::isop(f).num_cubes());
+}
+BENCHMARK(BM_IsopMinimization)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_BufferInsertionLarge(benchmark::State& state) {
+  const auto trace = seq::incremental({256, 256});
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto build = core::build_srag_2d_for_trace(trace);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(tech::insert_buffers(build.netlist).buffers_added);
+  }
+}
+BENCHMARK(BM_BufferInsertionLarge);
+
+}  // namespace
+
+BENCHMARK_MAIN();

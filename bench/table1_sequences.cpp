@@ -1,0 +1,72 @@
+// Table 1 reproduction: LinAS / RowAS / ColAS for new_img in the block
+// matching motion estimation algorithm (Figure 7) with img 4x4, mb 2x2, m=0.
+// This is an exact check: the printed rows must equal the paper's verbatim.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+
+#include "common.hpp"
+#include "seq/analysis.hpp"
+
+namespace {
+
+using namespace addm;
+
+void print_row(const char* name, const std::vector<std::uint32_t>& v) {
+  std::printf("%-6s", name);
+  for (std::size_t i = 0; i < v.size(); ++i) std::printf("%s%u", i ? "," : " ", v[i]);
+  std::printf("\n");
+}
+
+bool check(const char* name, const std::vector<std::uint32_t>& got,
+           const std::vector<std::uint32_t>& paper) {
+  if (got == paper) {
+    std::printf("  %-6s matches the paper exactly\n", name);
+    return true;
+  }
+  std::printf("  %-6s MISMATCH vs the paper!\n", name);
+  return false;
+}
+
+int run() {
+  bench::print_header(
+      "Table 1: address sequences for new_img (4x4 image, 2x2 macroblocks, m=0)");
+  seq::MotionEstimationParams p;
+  p.img_width = p.img_height = 4;
+  p.mb_width = p.mb_height = 2;
+  p.m = 0;
+  const auto trace = seq::motion_estimation_read(p);
+
+  print_row("LinAS", trace.linear());
+  print_row("RowAS", trace.rows());
+  print_row("ColAS", trace.cols());
+  std::printf("\n");
+
+  bool ok = true;
+  ok &= check("LinAS", trace.linear(),
+              {0, 1, 4, 5, 2, 3, 6, 7, 8, 9, 12, 13, 10, 11, 14, 15});
+  ok &= check("RowAS", trace.rows(), {0, 0, 1, 1, 0, 0, 1, 1, 2, 2, 3, 3, 2, 2, 3, 3});
+  ok &= check("ColAS", trace.cols(), {0, 1, 0, 1, 2, 3, 2, 3, 0, 1, 0, 1, 2, 3, 2, 3});
+  std::printf("\n");
+  return ok ? 0 : 1;
+}
+
+void BM_TraceGeneration(benchmark::State& state) {
+  seq::MotionEstimationParams p;
+  p.img_width = p.img_height = static_cast<std::size_t>(state.range(0));
+  p.mb_width = p.mb_height = 8;
+  p.m = 0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(seq::motion_estimation_read(p).length());
+}
+BENCHMARK(BM_TraceGeneration)->Arg(64)->Arg(256);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int rc = run();
+  if (rc != 0) return rc;
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Table 2 reproduction: the mapping parameters the SRAdGen procedure derives
+// for the paper's running example.
+//
+// Note: the paper labels its Table 2 "mapping parameters for column address
+// sequence", but the data shown (I = 0,0,1,1,...) is the RowAS of Table 1.
+// We print the mapping for both dimensions; the row mapping must equal the
+// paper's Table 2 verbatim.
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+#include "core/srag_mapper.hpp"
+
+namespace {
+
+using namespace addm;
+
+int run() {
+  bench::print_header(
+      "Table 2: SRAdGen mapping parameters (4x4 image, 2x2 macroblocks, m=0)");
+  seq::MotionEstimationParams p;
+  p.img_width = p.img_height = 4;
+  p.mb_width = p.mb_height = 2;
+  p.m = 0;
+  const auto trace = seq::motion_estimation_read(p);
+
+  const auto rows = trace.rows();
+  const auto rm = core::map_sequence(rows, 4);
+  if (!rm.ok()) {
+    std::printf("row mapping failed: %s\n", rm.detail.c_str());
+    return 1;
+  }
+  std::printf("Row address sequence (the data the paper's Table 2 shows):\n%s\n",
+              rm.params.to_string().c_str());
+
+  using V = std::vector<std::uint32_t>;
+  const bool exact = rm.params.I == V{0, 0, 1, 1, 0, 0, 1, 1, 2, 2, 3, 3, 2, 2, 3, 3} &&
+                     rm.params.D == V(8, 2) && rm.params.R == V{0, 1, 0, 1, 2, 3, 2, 3} &&
+                     rm.params.U == V{0, 1, 2, 3} && rm.params.O == V(4, 2) &&
+                     rm.params.Z == V{0, 1, 4, 5} && rm.params.P == V(2, 4) &&
+                     rm.params.dC == 2 && rm.params.pC == 4 &&
+                     rm.params.S == std::vector<V>{{0, 1}, {2, 3}};
+  std::printf("  Table 2 parameters %s the paper exactly\n\n",
+              exact ? "match" : "DO NOT match");
+
+  const auto cols = trace.cols();
+  const auto cm = core::map_sequence(cols, 4);
+  if (!cm.ok()) {
+    std::printf("column mapping failed: %s\n", cm.detail.c_str());
+    return 1;
+  }
+  std::printf("Column address sequence (dC=1, two periods reduce to one):\n%s\n",
+              cm.params.to_string().c_str());
+  return exact ? 0 : 1;
+}
+
+void BM_MapRowSequence(benchmark::State& state) {
+  seq::MotionEstimationParams p;
+  p.img_width = p.img_height = static_cast<std::size_t>(state.range(0));
+  p.mb_width = p.mb_height = 8;
+  p.m = 0;
+  const auto rows = seq::motion_estimation_read(p).rows();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::map_sequence(rows, p.img_height).ok());
+}
+BENCHMARK(BM_MapRowSequence)->Arg(64)->Arg(256);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int rc = run();
+  if (rc != 0) return rc;
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Table 3 reproduction: average delay-reduction and area-increase factors of
+// SRAG over CntAG for four example workloads, averaged over array sizes
+// 16x16 .. 256x256 (the Figure 8-10 sweep):
+//
+//   example     paper delay reduction   paper area increase
+//   dct                 1.7                    3.2
+//   zoombytwo           1.7                    3.1
+//   motion_est          1.8                    3.0
+//   fifo                1.9                    2.4
+#include <benchmark/benchmark.h>
+
+#include <functional>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace addm;
+
+struct Example {
+  const char* name;
+  double paper_delay_factor;
+  double paper_area_factor;
+  std::function<seq::AddressTrace(std::size_t)> make;
+};
+
+void print_table() {
+  const auto lib = tech::Library::generic_180nm();
+  const std::vector<Example> examples = {
+      {"dct", 1.7, 3.2,
+       [](std::size_t d) { return seq::dct_block_column_read({d, d}, 8); }},
+      {"zoombytwo", 1.7, 3.1,
+       [](std::size_t d) { return seq::zoom_by_two_read({d, d}); }},
+      {"motion_est", 1.8, 3.0, [](std::size_t d) { return bench::fig8_read_trace(d); }},
+      {"fifo", 1.9, 2.4, [](std::size_t d) { return seq::incremental({d, d}); }},
+  };
+
+  bench::print_header(
+      "Table 3: average delay-reduction / area-increase factors (SRAG vs CntAG)\n"
+      "averaged over array sizes 16x16 .. 256x256");
+  std::printf("%-12s %14s %8s %5s %14s %8s %5s\n", "example", "delay-reduction",
+              "(paper)", "", "area-increase", "(paper)", "");
+  for (const auto& ex : examples) {
+    double delay_sum = 0, area_sum = 0;
+    int count = 0;
+    for (std::size_t dim = 16; dim <= 256; dim *= 2) {
+      const auto trace = ex.make(dim);
+      const auto srag = bench::srag_metrics(trace, lib);
+      const auto cnt = bench::cntag_metrics(trace, lib);
+      delay_sum += cnt.delay_ns / srag.delay_ns;
+      area_sum += srag.area_units / cnt.area_units;
+      ++count;
+    }
+    std::printf("%-12s %14.2f %8.1f %5s %14.2f %8.1f\n", ex.name, delay_sum / count,
+                ex.paper_delay_factor, "", area_sum / count, ex.paper_area_factor);
+  }
+  std::printf("\n");
+}
+
+void BM_Table3FullSweepOneExample(benchmark::State& state) {
+  const auto lib = tech::Library::generic_180nm();
+  for (auto _ : state) {
+    const auto trace = seq::dct_block_column_read({32, 32}, 8);
+    benchmark::DoNotOptimize(bench::srag_metrics(trace, lib).delay_ns);
+    benchmark::DoNotOptimize(bench::cntag_metrics(trace, lib).delay_ns);
+  }
+}
+BENCHMARK(BM_Table3FullSweepOneExample);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Image zoom-by-two pipeline: the "zoombytow" workload of Table 3.
+//
+// A source image sits in the ADDM; the zoom engine reads source pixel
+// (r/2, c/2) for every output pixel in raster order. Each source pixel is
+// read four times — the SRAG absorbs the column repetition in DivCnt and the
+// row repetition in the run length, so the whole 4x-oversampled read needs
+// no address arithmetic at all. The demo runs the gate-level system, checks
+// the upscaled image, and prints the mapping parameters that make it work.
+#include <cstdio>
+#include <vector>
+
+#include "core/srag_mapper.hpp"
+#include "memory/system.hpp"
+#include "seq/workloads.hpp"
+
+int main() {
+  using namespace addm;
+  constexpr std::size_t kSrc = 16;  // source image 16x16 -> output 32x32
+
+  const auto write_trace = seq::incremental({kSrc, kSrc});
+  const auto read_trace = seq::zoom_by_two_read({kSrc, kSrc});
+  std::printf("source %zux%zu -> output %zux%zu (%zu reads)\n\n", kSrc, kSrc, 2 * kSrc,
+              2 * kSrc, read_trace.length());
+
+  // Show why this maps: the row sequence repeats each source row 2*2*kSrc
+  // times, the column sequence each source column twice.
+  const auto rows = read_trace.rows();
+  const auto rm = core::map_sequence(rows, kSrc);
+  const auto cols = read_trace.cols();
+  const auto cm = core::map_sequence(cols, kSrc);
+  if (!rm.ok() || !cm.ok()) {
+    std::printf("unexpected mapping failure\n");
+    return 1;
+  }
+  std::printf("row mapping: dC=%u pC=%u (%zu flip-flops)\n", rm.params.dC, rm.params.pC,
+              rm.config->num_flipflops());
+  std::printf("col mapping: dC=%u pC=%u (%zu flip-flops)\n\n", cm.params.dC, cm.params.pC,
+              cm.config->num_flipflops());
+
+  // Gate-level run: write a gradient image, read the zoomed stream.
+  memory::AddmSystem system(write_trace, read_trace);
+  std::vector<std::uint32_t> src(write_trace.length());
+  for (std::size_t r = 0; r < kSrc; ++r)
+    for (std::size_t c = 0; c < kSrc; ++c) src[r * kSrc + c] = static_cast<std::uint32_t>(16 * r + c);
+
+  const auto out = system.run(src);
+
+  std::size_t mismatches = 0;
+  for (std::size_t r = 0; r < 2 * kSrc; ++r)
+    for (std::size_t c = 0; c < 2 * kSrc; ++c)
+      if (out[r * 2 * kSrc + c] != src[(r / 2) * kSrc + c / 2]) ++mismatches;
+
+  std::printf("zoomed stream verified: %zu mismatches, %zu select violations\n",
+              mismatches, system.violation_count());
+
+  // A corner of the output, to see the pixel duplication.
+  std::printf("\noutput corner (4x8):\n");
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 8; ++c) std::printf("%4u", out[r * 2 * kSrc + c]);
+    std::printf("\n");
+  }
+  return mismatches == 0 ? 0 : 1;
+}

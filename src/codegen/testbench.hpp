@@ -1,0 +1,25 @@
+// Self-checking Verilog testbench emitter.
+//
+// Completes the SRAdGen flow for users with an HDL simulator: given the SRAG
+// configuration and the address sequence it was mapped from, emits a
+// testbench that instantiates the generated module (see verilog.hpp /
+// elaborate_srag), applies the reset protocol, pulses `next`, and compares
+// the one-hot select bundle against the expected sequence every cycle,
+// finishing with a pass/fail banner.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "core/srag_config.hpp"
+
+namespace addm::codegen {
+
+/// `dut_name` must match the module emitted by to_verilog() for the same
+/// configuration (inputs "next"/"reset", outputs "sel_<k>"). `expected` is
+/// the address sequence to check, one entry per `next` pulse.
+std::string srag_verilog_testbench(const core::SragConfig& cfg,
+                                   std::span<const std::uint32_t> expected,
+                                   const std::string& dut_name);
+
+}  // namespace addm::codegen

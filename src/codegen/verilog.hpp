@@ -1,0 +1,20 @@
+// Structural Verilog emitter: renders any Netlist as a synthesizable
+// Verilog-2001 module over gate primitives and inferred flip-flops.
+//
+// Port names of the form "name[i]" are flattened to "name_i" scalars so the
+// output is tool-friendly without bus-shape reconstruction. Output is
+// deterministic for a given netlist.
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace addm::codegen {
+
+std::string to_verilog(const netlist::Netlist& nl, const std::string& module_name);
+
+/// "sel[3]" -> "sel_3"; passes other identifiers through.
+std::string sanitize_identifier(const std::string& name);
+
+}  // namespace addm::codegen

@@ -1,0 +1,25 @@
+// VHDL emitters — the output format of the paper's SRAdGen tool.
+//
+// Two flavours:
+//  * to_structural_vhdl: any Netlist as an entity/architecture pair over
+//    std_logic signals with inline gate expressions and clocked processes,
+//    mirroring what Design Compiler would have consumed.
+//  * srag_to_behavioral_vhdl: an architectural, human-readable SRAG
+//    description generated straight from an SragConfig (shift registers,
+//    DivCnt/PassCnt processes) — the shape of VHDL the paper says SRAdGen
+//    produces for a successfully mapped sequence.
+#pragma once
+
+#include <string>
+
+#include "core/srag_config.hpp"
+#include "netlist/netlist.hpp"
+
+namespace addm::codegen {
+
+std::string to_structural_vhdl(const netlist::Netlist& nl, const std::string& entity_name);
+
+std::string srag_to_behavioral_vhdl(const core::SragConfig& cfg,
+                                    const std::string& entity_name);
+
+}  // namespace addm::codegen

@@ -1,0 +1,125 @@
+#include "core/arithag.hpp"
+
+#include <stdexcept>
+
+#include "synth/adder.hpp"
+#include "synth/counter.hpp"
+
+namespace addm::core {
+
+using netlist::CellType;
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::NetlistBuilder;
+
+ArithAgPorts build_arithag(NetlistBuilder& b, const seq::LoopNestProgram& program,
+                           NetId next, NetId reset, const ArithAgOptions& opt) {
+  const auto& loops = program.nest.loops();
+  if (loops.empty()) throw std::invalid_argument("build_arithag: empty loop nest");
+  const auto geom = program.geometry;
+  if ((geom.width & (geom.width - 1)) != 0)
+    throw std::invalid_argument("build_arithag: width must be a power of two");
+  const std::size_t levels = loops.size();
+  const int addr_bits = synth::bits_for(geom.size());
+  const std::uint64_t addr_mask = (std::uint64_t{1} << addr_bits) - 1;
+
+  auto coeff_at = [](const std::vector<long>& v, std::size_t i) {
+    return i < v.size() ? v[i] : 0L;
+  };
+  // Linear-address coefficient and per-loop movement span.
+  std::vector<long> lc(levels), span(levels);
+  for (std::size_t l = 0; l < levels; ++l) {
+    lc[l] = coeff_at(program.access.row_coeffs, l) * static_cast<long>(geom.width) +
+            coeff_at(program.access.col_coeffs, l);
+    span[l] = lc[l] * loops[l].step * (static_cast<long>(loops[l].trip_count()) - 1);
+  }
+  // Stride constant applied when level l increments: its own step forward
+  // minus everything the wrapped inner loops walked.
+  std::vector<std::uint64_t> delta(levels);
+  for (std::size_t l = 0; l < levels; ++l) {
+    long d = lc[l] * loops[l].step;
+    for (std::size_t j = l + 1; j < levels; ++j) d -= span[j];
+    delta[l] = static_cast<std::uint64_t>(d) & addr_mask;
+  }
+  // Initial linear address (all loops at their lower bounds).
+  std::vector<long> lowers(levels);
+  for (std::size_t l = 0; l < levels; ++l) lowers[l] = loops[l].lower;
+  const long init_row = program.access.row(lowers);
+  const long init_col = program.access.col(lowers);
+  const std::uint64_t init_addr =
+      static_cast<std::uint64_t>(init_row * static_cast<long>(geom.width) + init_col);
+
+  // Loop iteration counters, innermost enabled by `next`, each outer level by
+  // the wraps of everything inside it.
+  std::vector<NetId> wrap(levels);
+  {
+    NetId enable = next;
+    for (std::size_t l = levels; l-- > 0;) {
+      const std::size_t trips = loops[l].trip_count();
+      if (trips == 1) {
+        wrap[l] = netlist::kConst1;  // a one-trip loop wraps every time
+        continue;
+      }
+      synth::CounterSpec spec;
+      spec.bits = synth::bits_for(trips);
+      spec.modulo = trips;
+      const auto cnt = synth::build_counter(b, spec, enable, reset);
+      wrap[l] = cnt.wrap;
+      enable = b.and2(enable, cnt.wrap);
+    }
+  }
+
+  // Address accumulator flip-flops (created up-front for the feedback).
+  auto& nl = b.netlist();
+  std::vector<NetId> acc(static_cast<std::size_t>(addr_bits));
+  for (auto& n : acc) n = nl.new_net();
+
+  // Stride selection: innermost non-wrapping level wins.
+  std::vector<NetId> stride = b.constant_word(delta[0], addr_bits);
+  for (std::size_t l = 1; l < levels; ++l)
+    stride = b.mux2_word(wrap[l], b.constant_word(delta[l], addr_bits), stride);
+
+  const auto adder = synth::build_adder(b, acc, stride);
+
+  // Whole-nest wrap: reload the initial address.
+  std::vector<NetId> all_wraps(wrap.begin(), wrap.end());
+  const NetId nest_wrap = b.and_tree(all_wraps);
+  const auto init_word = b.constant_word(init_addr, addr_bits);
+  for (int k = 0; k < addr_bits; ++k) {
+    const NetId d = b.mux2(nest_wrap, adder.sum[static_cast<std::size_t>(k)],
+                           init_word[static_cast<std::size_t>(k)]);
+    // Reset loads the initial address bit-by-bit (set for 1-bits).
+    const CellType ff = (init_addr >> k) & 1 ? CellType::DffES : CellType::DffER;
+    nl.add_cell(ff, {d, next, reset}, acc[static_cast<std::size_t>(k)]);
+  }
+
+  ArithAgPorts ports;
+  ports.address = acc;
+  const int col_bits = synth::bits_for(geom.width);
+  ports.col_addr.assign(acc.begin(), acc.begin() + col_bits);
+  ports.row_addr.assign(acc.begin() + col_bits, acc.end());
+  if (opt.include_decoders) {
+    ports.rs = synth::build_decoder(b, ports.row_addr, geom.height, netlist::kConst1,
+                                    opt.decoder_style);
+    ports.cs = synth::build_decoder(b, ports.col_addr, geom.width, netlist::kConst1,
+                                    opt.decoder_style);
+  }
+  return ports;
+}
+
+Netlist elaborate_arithag(const seq::LoopNestProgram& program, const ArithAgOptions& opt) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId next = b.input("next");
+  const NetId reset = b.input("reset");
+  const auto ports = build_arithag(b, program, next, reset, opt);
+  b.output_bus("ra", ports.row_addr);
+  b.output_bus("ca", ports.col_addr);
+  if (opt.include_decoders) {
+    b.output_bus("rs", ports.rs);
+    b.output_bus("cs", ports.cs);
+  }
+  return nl;
+}
+
+}  // namespace addm::core

@@ -1,0 +1,51 @@
+// ArithAG: arithmetic-based address generator — the third generator style of
+// the paper's landscape (Section 2/6: "the counter-based style was chosen as
+// the benchmark because, for regular access patterns, it performs better
+// than arithmetic-based address generators [7]").
+//
+// Architecture, following the ADOPT-style accumulator scheme: one small loop
+// counter per nest level plus a linear-address accumulator. Every `next`
+// pulse adds a stride constant to the accumulator; the constant is selected
+// (priority mux, innermost first) by which loop counters are about to wrap,
+// so each level contributes coeff*step minus the spans the wrapped inner
+// loops retract. When the whole nest wraps, the accumulator reloads its
+// initial value.
+//
+// The accumulator's adder sits on the clk->address path, so ArithAG trades
+// the CntAG's decoder-dominated delay for a carry-chain-dominated one —
+// bench_ext_arithag reproduces the related-work claim that this loses on
+// regular patterns.
+#pragma once
+
+#include "netlist/builder.hpp"
+#include "seq/loopnest.hpp"
+#include "synth/decoder.hpp"
+
+namespace addm::core {
+
+struct ArithAgOptions {
+  synth::DecoderStyle decoder_style = synth::DecoderStyle::SharedChain;
+  bool include_decoders = true;
+};
+
+struct ArithAgPorts {
+  std::vector<netlist::NetId> address;  ///< linear address accumulator bits
+  std::vector<netlist::NetId> row_addr;
+  std::vector<netlist::NetId> col_addr;
+  std::vector<netlist::NetId> rs;
+  std::vector<netlist::NetId> cs;
+};
+
+/// Appends an ArithAG for `program` to `b`. The geometry width must be a
+/// power of two (the accumulator holds linear addresses and the row/column
+/// split is a bit split). Throws std::invalid_argument otherwise.
+ArithAgPorts build_arithag(netlist::NetlistBuilder& b, const seq::LoopNestProgram& program,
+                           netlist::NetId next, netlist::NetId reset,
+                           const ArithAgOptions& opt = {});
+
+/// Standalone netlist: inputs "next"/"reset", outputs "ra"/"ca" (+ "rs"/"cs"
+/// with decoders).
+netlist::Netlist elaborate_arithag(const seq::LoopNestProgram& program,
+                                   const ArithAgOptions& opt = {});
+
+}  // namespace addm::core

@@ -1,0 +1,58 @@
+// CntAG: the counter-based address generator with address decoders — the
+// paper's baseline (Figure 1 path: counter -> binary address -> row/column
+// decoders inside the RAM).
+//
+// For a deterministic sequence of length L the generator is an index counter
+// (modulo L) followed by a combinational index->address transform synthesized
+// by two-level minimization. For regular sequences (incremental, block
+// raster, zoom, transpose) the transform minimizes to bit rewiring, which is
+// exactly why counter-based generators beat arithmetic-based ones on such
+// patterns [Grant89]. The binary row/column addresses then feed the decoders.
+//
+// The decoders default to the Flat style — modelling the sharing-poor random
+// logic 2002-era synthesis produced from a behavioural decoder description —
+// and can be switched to Shared predecoding for the ablation study.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/builder.hpp"
+#include "seq/trace.hpp"
+#include "synth/counter.hpp"
+#include "synth/decoder.hpp"
+
+namespace addm::core {
+
+struct CntAgOptions {
+  synth::DecoderStyle decoder_style = synth::DecoderStyle::SharedChain;
+  synth::CarryStyle carry = synth::CarryStyle::Lookahead;
+  /// Sequence counter digit width (cascaded digit counters keep the counter
+  /// delay flat across sequence lengths, as in the paper's Figure 9).
+  int counter_digit_bits = 4;
+  /// Map the index->address transform without structural sharing.
+  bool flat_transform = false;
+  /// Build the row/column decoders (false models the bare generator of
+  /// Figure 1, whose decode happens inside the RAM macro; the paper's
+  /// CntAG delay/area figures include the decode, so true is the default).
+  bool include_decoders = true;
+};
+
+struct CntAgPorts {
+  std::vector<netlist::NetId> index;     ///< sequence-position counter bits
+  std::vector<netlist::NetId> row_addr;  ///< binary row address (RA)
+  std::vector<netlist::NetId> col_addr;  ///< binary column address (CA)
+  std::vector<netlist::NetId> rs;        ///< one-hot row selects (if decoders)
+  std::vector<netlist::NetId> cs;        ///< one-hot column selects (if decoders)
+};
+
+/// Appends a CntAG for `trace` to `b`, driven by `next`/`reset`.
+CntAgPorts build_cntag(netlist::NetlistBuilder& b, const seq::AddressTrace& trace,
+                       netlist::NetId next, netlist::NetId reset,
+                       const CntAgOptions& opt = {});
+
+/// Standalone netlist: inputs "next"/"reset"; outputs "ra[...]", "ca[...]"
+/// and, with decoders, "rs[...]", "cs[...]".
+netlist::Netlist elaborate_cntag(const seq::AddressTrace& trace,
+                                 const CntAgOptions& opt = {});
+
+}  // namespace addm::core

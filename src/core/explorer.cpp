@@ -1,0 +1,215 @@
+#include "core/explorer.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/cntag.hpp"
+#include "core/multicounter.hpp"
+#include "core/sfm.hpp"
+#include "core/srag_elab.hpp"
+#include "core/srag_mapper.hpp"
+#include "synth/fsm.hpp"
+
+namespace addm::core {
+
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::NetlistBuilder;
+
+namespace {
+
+DesignPoint measured_point(std::string arch, Netlist nl, const ExploreOptions& opt,
+                           std::string note = {}) {
+  DesignPoint p;
+  p.architecture = std::move(arch);
+  p.metrics = measure_netlist(nl, opt.library, opt.max_fanout);
+  p.feasible = true;
+  p.note = std::move(note);
+  return p;
+}
+
+DesignPoint infeasible_point(std::string arch, std::string why) {
+  DesignPoint p;
+  p.architecture = std::move(arch);
+  p.feasible = false;
+  p.note = std::move(why);
+  return p;
+}
+
+Netlist elaborate_fsm_2d(const seq::AddressTrace& trace, synth::FsmEncoding enc) {
+  const auto rows = trace.rows();
+  const auto cols = trace.cols();
+  const std::size_t L = trace.length();
+
+  synth::FsmSpec row_spec;
+  row_spec.next_state.resize(L);
+  for (std::size_t i = 0; i < L; ++i)
+    row_spec.next_state[i] = static_cast<std::uint32_t>((i + 1) % L);
+  row_spec.select_of_state = rows;
+  row_spec.num_select_lines = trace.geometry().height;
+
+  synth::FsmSpec col_spec = row_spec;
+  col_spec.select_of_state = cols;
+  col_spec.num_select_lines = trace.geometry().width;
+
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId next = b.input("next");
+  const NetId reset = b.input("reset");
+  const synth::FsmStyle style{enc, /*flat_mapping=*/true};
+  const auto row_ports = synth::build_fsm(b, row_spec, next, reset, style);
+  const auto col_ports = synth::build_fsm(b, col_spec, next, reset, style);
+  b.output_bus("rs", row_ports.select);
+  b.output_bus("cs", col_ports.select);
+  return nl;
+}
+
+bool is_fifo(const seq::AddressTrace& trace) {
+  const auto& a = trace.linear();
+  if (a.size() != trace.geometry().size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] != i) return false;
+  return true;
+}
+
+}  // namespace
+
+std::vector<DesignPoint> explore_generators(const seq::AddressTrace& trace,
+                                            const ExploreOptions& opt) {
+  std::vector<DesignPoint> points;
+
+  // SRAG (two-hot).
+  try {
+    Srag2dBuild srag = build_srag_2d_for_trace(trace);
+    std::ostringstream note;
+    note << "row: " << srag.row.num_registers() << " regs/" << srag.row.num_flipflops()
+         << " ffs dC=" << srag.row.div_count << " pC=" << srag.row.pass_count
+         << "; col: " << srag.col.num_registers() << " regs/" << srag.col.num_flipflops()
+         << " ffs dC=" << srag.col.div_count << " pC=" << srag.col.pass_count;
+    points.push_back(
+        measured_point("SRAG", std::move(srag.netlist), opt, note.str()));
+  } catch (const std::invalid_argument& e) {
+    points.push_back(infeasible_point("SRAG", e.what()));
+  }
+
+  // Multi-counter SRAG.
+  {
+    const auto rows = trace.rows();
+    const auto cols = trace.cols();
+    auto row_map = map_sequence_multicounter(
+        rows, static_cast<std::uint32_t>(trace.geometry().height));
+    auto col_map = map_sequence_multicounter(
+        cols, static_cast<std::uint32_t>(trace.geometry().width));
+    if (row_map.ok() && col_map.ok()) {
+      Netlist nl;
+      NetlistBuilder b(nl);
+      const NetId next = b.input("next");
+      const NetId reset = b.input("reset");
+      const auto rp = build_multi_srag(b, *row_map.config, next, reset);
+      const auto cp = build_multi_srag(b, *col_map.config, next, reset);
+      b.output_bus("rs", rp.select);
+      b.output_bus("cs", cp.select);
+      points.push_back(measured_point("SRAG-multicounter", std::move(nl), opt));
+    } else {
+      points.push_back(infeasible_point(
+          "SRAG-multicounter",
+          !row_map.ok() ? "row: " + row_map.detail : "col: " + col_map.detail));
+    }
+  }
+
+  // CntAG variants.
+  {
+    CntAgOptions copt;
+    copt.decoder_style = synth::DecoderStyle::Flat;
+    points.push_back(
+        measured_point("CntAG-flat", elaborate_cntag(trace, copt), opt, "flat decoders"));
+    copt.decoder_style = synth::DecoderStyle::SharedChain;
+    points.push_back(measured_point("CntAG-shared", elaborate_cntag(trace, copt), opt,
+                                    "shared chain decoders (2002 flow)"));
+    copt.decoder_style = synth::DecoderStyle::SharedBalanced;
+    points.push_back(measured_point("CntAG-predecoded", elaborate_cntag(trace, copt), opt,
+                                    "balanced predecoders (modern flow)"));
+  }
+
+  // Symbolic FSMs.
+  if (opt.include_fsm) {
+    const char* names[] = {"FSM-binary", "FSM-gray", "FSM-onehot"};
+    const synth::FsmEncoding encs[] = {synth::FsmEncoding::Binary, synth::FsmEncoding::Gray,
+                                       synth::FsmEncoding::OneHot};
+    for (int k = 0; k < 3; ++k) {
+      if (trace.length() > opt.max_fsm_states) {
+        points.push_back(infeasible_point(
+            names[k], "synthesis impractical beyond " +
+                          std::to_string(opt.max_fsm_states) + " states (sequence has " +
+                          std::to_string(trace.length()) + ")"));
+        continue;
+      }
+      points.push_back(measured_point(names[k], elaborate_fsm_2d(trace, encs[k]), opt));
+    }
+  }
+
+  // SFM.
+  if (is_fifo(trace)) {
+    points.push_back(measured_point("SFM", elaborate_sfm(trace.geometry().size()), opt,
+                                    "one-hot FIFO pointers (1-D memory)"));
+  } else {
+    points.push_back(infeasible_point("SFM", "SFM supports FIFO access only"));
+  }
+  return points;
+}
+
+std::vector<std::size_t> pareto_front(const std::vector<DesignPoint>& points) {
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (!points[i].feasible) continue;
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (i == j || !points[j].feasible) continue;
+      const bool no_worse = points[j].metrics.area_units <= points[i].metrics.area_units &&
+                            points[j].metrics.delay_ns <= points[i].metrics.delay_ns;
+      const bool better = points[j].metrics.area_units < points[i].metrics.area_units ||
+                          points[j].metrics.delay_ns < points[i].metrics.delay_ns;
+      if (no_worse && better) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+std::string format_exploration(const std::vector<DesignPoint>& points) {
+  const auto front = pareto_front(points);
+  auto on_front = [&](std::size_t i) {
+    return std::find(front.begin(), front.end(), i) != front.end();
+  };
+  std::ostringstream os;
+  os.precision(3);
+  os << std::fixed;
+  os << "architecture        feasible  area(units)  delay(ns)  pareto  note\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const DesignPoint& p = points[i];
+    os << p.architecture;
+    for (std::size_t pad = p.architecture.size(); pad < 20; ++pad) os << ' ';
+    if (p.feasible) {
+      std::ostringstream area, delay;
+      area.precision(0);
+      area << std::fixed << p.metrics.area_units;
+      delay.precision(3);
+      delay << std::fixed << p.metrics.delay_ns;
+      os << "yes       ";
+      os << area.str();
+      for (std::size_t pad = area.str().size(); pad < 13; ++pad) os << ' ';
+      os << delay.str();
+      for (std::size_t pad = delay.str().size(); pad < 11; ++pad) os << ' ';
+      os << (on_front(i) ? "*       " : "        ");
+      os << p.note << "\n";
+    } else {
+      os << "no        -            -          -       " << p.note << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace addm::core

@@ -1,0 +1,49 @@
+// Design-space explorer — the paper's stated "final goal": given an address
+// trace, evaluate every applicable generator architecture at a high level
+// and report the area/delay landscape plus its Pareto front.
+//
+// Candidate architectures:
+//  * SRAG (two-hot, Section 4)           — needs both dimensions mappable
+//  * multi-counter SRAG (Section 4 ext.) — relaxed PassCnt restriction
+//  * CntAG, flat decoders (baseline)     — always applicable
+//  * CntAG, shared predecoders           — always applicable
+//  * symbolic FSM, binary/gray/one-hot   — capped by a state budget; beyond
+//    it the point is reported infeasible ("synthesis impractical", matching
+//    the paper's Section-3 observation)
+//  * SFM (Aloqeely)                      — FIFO traces only
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "seq/trace.hpp"
+#include "tech/library.hpp"
+
+namespace addm::core {
+
+struct DesignPoint {
+  std::string architecture;
+  bool feasible = false;
+  std::string note;  ///< why infeasible, or config summary when feasible
+  GeneratorMetrics metrics;
+};
+
+struct ExploreOptions {
+  tech::Library library = tech::Library::generic_180nm();
+  int max_fanout = tech::kDefaultMaxFanout;
+  /// FSM candidates are skipped above this many states (sequence length).
+  std::size_t max_fsm_states = 1024;
+  bool include_fsm = true;
+};
+
+std::vector<DesignPoint> explore_generators(const seq::AddressTrace& trace,
+                                            const ExploreOptions& opt = {});
+
+/// Indices of the area/delay Pareto-optimal feasible points.
+std::vector<std::size_t> pareto_front(const std::vector<DesignPoint>& points);
+
+/// Fixed-width text table of the exploration result.
+std::string format_exploration(const std::vector<DesignPoint>& points);
+
+}  // namespace addm::core

@@ -1,0 +1,106 @@
+#include "core/shared_control.hpp"
+
+#include "synth/counter.hpp"
+
+namespace addm::core {
+
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::NetlistBuilder;
+
+namespace {
+
+struct DerivedEnable {
+  NetId enable = netlist::kInvalidNet;
+  ControlSharing sharing = ControlSharing::None;
+};
+
+/// Derives the slow dimension's shift enable from the fast dimension's
+/// control events, if the divisibility conditions allow it.
+DerivedEnable derive_enable(NetlistBuilder& b, const SragPorts& fast,
+                            const SragConfig& fast_cfg, std::uint32_t slow_div,
+                            NetId reset) {
+  DerivedEnable out;
+  const std::uint64_t fast_div = fast_cfg.div_count;
+  const std::uint64_t fast_cycle =
+      static_cast<std::uint64_t>(fast_cfg.pass_count) * fast_cfg.num_registers();
+
+  if (slow_div % fast_div != 0) return out;  // no alignment at all
+  const std::uint64_t per_enable = slow_div / fast_div;
+
+  if (per_enable == 1) {
+    // Same division: the slow dimension shifts on every fast enable.
+    out.enable = fast.enable;
+    out.sharing = ControlSharing::ColumnEnable;
+    return out;
+  }
+  if (per_enable % fast_cycle == 0) {
+    const std::uint64_t r = per_enable / fast_cycle;
+    if (r == 1) {
+      out.enable = fast.cycle_complete;
+      out.sharing = ControlSharing::ColumnCycle;
+      return out;
+    }
+    synth::CounterSpec spec;
+    spec.bits = synth::bits_for(r);
+    spec.modulo = r;
+    const auto cnt = synth::build_counter(b, spec, fast.cycle_complete, reset);
+    out.enable = b.and2(fast.cycle_complete, cnt.wrap);
+    out.sharing = ControlSharing::ColumnCycleScaled;
+    return out;
+  }
+  // Count fast enables with a reduced modulo (saves bits over a raw DivCnt
+  // whenever the fast dimension divides at all).
+  synth::CounterSpec spec;
+  spec.bits = synth::bits_for(per_enable);
+  spec.modulo = per_enable;
+  const auto cnt = synth::build_counter(b, spec, fast.enable, reset);
+  out.enable = b.and2(fast.enable, cnt.wrap);
+  out.sharing = ControlSharing::ColumnEnable;
+  return out;
+}
+
+}  // namespace
+
+SharedSrag2dResult build_srag_2d_shared(NetlistBuilder& b, const SragConfig& row_cfg,
+                                        const SragConfig& col_cfg, NetId next,
+                                        NetId reset) {
+  row_cfg.check();
+  col_cfg.check();
+  SharedSrag2dResult res;
+
+  // The dimension with the smaller division count is the "fast" one; it is
+  // built with its own DivCnt and the other dimension taps its events.
+  const bool col_is_fast = col_cfg.div_count <= row_cfg.div_count;
+  const SragConfig& fast_cfg = col_is_fast ? col_cfg : row_cfg;
+  const SragConfig& slow_cfg = col_is_fast ? row_cfg : col_cfg;
+
+  SragPorts fast = build_srag(b, fast_cfg, next, reset);
+  DerivedEnable derived = derive_enable(b, fast, fast_cfg, slow_cfg.div_count, reset);
+
+  SragPorts slow;
+  if (derived.sharing == ControlSharing::None) {
+    slow = build_srag(b, slow_cfg, next, reset);  // independent fallback
+  } else {
+    slow = build_srag_with_enable(b, slow_cfg, derived.enable, reset);
+  }
+  res.sharing = derived.sharing;
+  res.row = col_is_fast ? slow : fast;
+  res.col = col_is_fast ? fast : slow;
+  return res;
+}
+
+Netlist elaborate_srag_2d_shared(const SragConfig& row_cfg, const SragConfig& col_cfg,
+                                 ControlSharing* sharing_out) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId next = b.input("next");
+  const NetId reset = b.input("reset");
+  const auto res = build_srag_2d_shared(b, row_cfg, col_cfg, next, reset);
+  b.output_bus("rs", res.row.select);
+  b.output_bus("cs", res.col.select);
+  if (sharing_out) *sharing_out = res.sharing;
+  return nl;
+}
+
+}  // namespace addm::core

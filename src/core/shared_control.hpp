@@ -1,0 +1,57 @@
+// Shared-control two-dimensional SRAG — the first enhancement the paper's
+// conclusion proposes: "reduce the area of SRAG through enhancements such as
+// reuse of control circuitry between the row and the column address
+// sequences or exploiting the interaction between the row and the column
+// address generators".
+//
+// In a 2-D access pattern the row address typically advances exactly when
+// the column generator completes a sub-pattern. Instead of giving the row
+// SRAG a private DivCnt counting raw `next` pulses (dC_row of them per row
+// step), the row's shift enable is derived from column-side events:
+//
+//  * dC_row == dC_col * col_cycle           -> row shifts on the column's
+//       cycle-completion event; the row DivCnt disappears entirely.
+//  * dC_row == dC_col * col_cycle * r       -> a small modulo-r counter over
+//       completion events replaces the full modulo-dC_row DivCnt.
+//  * dC_row == dC_col * r (no cycle align)  -> a modulo-r counter over column
+//       *enable* pulses replaces the DivCnt (fewer bits).
+//
+// where col_cycle = pass_count * num_registers is the column token period in
+// enabled shifts. When none of the divisibility conditions hold the builder
+// falls back to the independent composition.
+#pragma once
+
+#include "core/srag_config.hpp"
+#include "core/srag_elab.hpp"
+#include "netlist/builder.hpp"
+
+namespace addm::core {
+
+enum class ControlSharing {
+  None,             ///< fell back to independent DivCnt
+  ColumnEnable,     ///< row DivCnt counts column enables (modulo reduced)
+  ColumnCycle,      ///< row shifts directly on column cycle completion
+  ColumnCycleScaled ///< small counter over column cycle completions
+};
+
+struct SharedSrag2dResult {
+  SragPorts row;
+  SragPorts col;
+  ControlSharing sharing = ControlSharing::None;
+};
+
+/// Appends both dimensions with maximal control reuse. Functionally
+/// equivalent to two independent build_srag calls (the tests check this by
+/// cycle simulation); cheaper whenever the divisibility conditions hold.
+SharedSrag2dResult build_srag_2d_shared(netlist::NetlistBuilder& b,
+                                        const SragConfig& row_cfg,
+                                        const SragConfig& col_cfg, netlist::NetId next,
+                                        netlist::NetId reset);
+
+/// Standalone netlist (inputs "next"/"reset", outputs "rs[...]"/"cs[...]")
+/// using the shared-control composition.
+netlist::Netlist elaborate_srag_2d_shared(const SragConfig& row_cfg,
+                                          const SragConfig& col_cfg,
+                                          ControlSharing* sharing_out = nullptr);
+
+}  // namespace addm::core

@@ -1,0 +1,66 @@
+#include "core/srag_config.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace addm::core {
+
+std::size_t SragConfig::num_flipflops() const {
+  std::size_t n = 0;
+  for (const auto& r : registers) n += r.size();
+  return n;
+}
+
+void SragConfig::check() const {
+  if (registers.empty()) throw std::invalid_argument("SragConfig: no shift registers");
+  if (div_count < 1) throw std::invalid_argument("SragConfig: div_count < 1");
+  if (pass_count < 1) throw std::invalid_argument("SragConfig: pass_count < 1");
+  std::unordered_set<std::uint32_t> seen;
+  for (const auto& reg : registers) {
+    if (reg.empty()) throw std::invalid_argument("SragConfig: empty shift register");
+    for (std::uint32_t line : reg) {
+      if (line >= num_select_lines)
+        throw std::invalid_argument("SragConfig: select line out of range");
+      if (!seen.insert(line).second)
+        throw std::invalid_argument("SragConfig: select line mapped twice");
+    }
+  }
+  for (const auto& reg : registers)
+    if (pass_count % reg.size() != 0)
+      throw std::invalid_argument(
+          "SragConfig: pass_count must be a multiple of every register length");
+}
+
+namespace {
+std::string join(const std::vector<std::uint32_t>& v) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) os << ",";
+    os << v[i];
+  }
+  return os.str();
+}
+}  // namespace
+
+std::string MappingParameters::to_string() const {
+  std::ostringstream os;
+  os << "I  = " << join(I) << "\n";
+  os << "D  = " << join(D) << "\n";
+  os << "R  = " << join(R) << "\n";
+  os << "U  = " << join(U) << "\n";
+  os << "O  = " << join(O) << "\n";
+  os << "Z  = " << join(Z) << "\n";
+  os << "S  = ";
+  for (std::size_t i = 0; i < S.size(); ++i) {
+    if (i) os << ";";
+    os << "(" << join(S[i]) << ")";
+  }
+  os << "\n";
+  os << "P  = " << join(P) << "\n";
+  os << "dC = " << dC << "\n";
+  os << "pC = " << pC << "\n";
+  return os.str();
+}
+
+}  // namespace addm::core

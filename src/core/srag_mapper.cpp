@@ -1,0 +1,172 @@
+#include "core/srag_mapper.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/srag_model.hpp"
+#include "seq/analysis.hpp"
+
+namespace addm::core {
+
+std::string to_string(MapFailure f) {
+  switch (f) {
+    case MapFailure::EmptySequence: return "empty sequence";
+    case MapFailure::NonUniformDivCount: return "DivCnt restriction violated";
+    case MapFailure::NonUniformPassCount: return "PassCnt restriction violated";
+    case MapFailure::GroupingFailed: return "grouping verification failed";
+  }
+  return "?";
+}
+
+SequenceAnalysis analyze_sequence(std::span<const std::uint32_t> seq) {
+  SequenceAnalysis res;
+  res.params.I.assign(seq.begin(), seq.end());
+  if (seq.empty()) {
+    res.failure = MapFailure::EmptySequence;
+    res.detail = "cannot map an empty address sequence";
+    return res;
+  }
+
+  // Step 1: division counts D; the DivCnt restriction requires uniformity.
+  res.params.D = seq::run_lengths(seq);
+  if (!seq::all_equal(res.params.D)) {
+    res.failure = MapFailure::NonUniformDivCount;
+    const auto [mn, mx] = std::minmax_element(res.params.D.begin(), res.params.D.end());
+    res.detail = "repetition lengths vary between " + std::to_string(*mn) + " and " +
+                 std::to_string(*mx) + "; a single DivCnt cannot divide them uniformly";
+    return res;
+  }
+  res.params.dC = res.params.D.front();
+
+  // Step 2: reduced sequence R (runs collapsed to single elements).
+  res.params.R = seq::collapse_runs(seq);
+
+  // The procedure of Section 5 implicitly treats its input as one period of
+  // the repetitive sequence ("for a repetitive address sequence of length
+  // N..."). When the caller hands us several periods (e.g. the full ColAS of
+  // Table 1 contains its 8-element pattern twice), occurrence counts must be
+  // taken over a single period, otherwise the derived pass count pC would
+  // make the token linger O-periods-worth of iterations in its first
+  // register. The replay verification guards the reduction.
+  const std::size_t period = seq::smallest_period(res.params.R);
+  const std::span<const std::uint32_t> r1(res.params.R.data(), period);
+
+  // Step 3: unique sequence U in first-appearance order.
+  res.params.U = seq::unique_in_order(r1);
+
+  // Step 4: occurrence counts O and first positions Z (over one period).
+  const auto occ = seq::occurrence_info(r1, res.params.U);
+  res.params.O = occ.occurrences;
+  res.params.Z = occ.first_pos;
+
+  // Step 5: initial grouping. Consecutive unique addresses u_k, u_{k+1} join
+  // the same shift register when they occur equally often and first appear
+  // consecutively in R.
+  auto& S = res.params.S;
+  S.clear();
+  for (std::size_t k = 0; k < res.params.U.size(); ++k) {
+    const bool extend = !S.empty() && k > 0 && res.params.O[k] == res.params.O[k - 1] &&
+                        res.params.Z[k] == res.params.Z[k - 1] + 1;
+    if (extend)
+      S.back().push_back(res.params.U[k]);
+    else
+      S.push_back({res.params.U[k]});
+  }
+
+  // Step 6: per-register pass counts P_i = M_i * iterations. All members of
+  // a group share one occurrence count by construction of step 5.
+  res.params.P.clear();
+  {
+    std::size_t k = 0;
+    for (const auto& group : S) {
+      const std::uint32_t iters = res.params.O[k];
+      res.params.P.push_back(static_cast<std::uint32_t>(group.size()) * iters);
+      k += group.size();
+    }
+  }
+  return res;
+}
+
+MapResult map_sequence(std::span<const std::uint32_t> seq, std::uint32_t num_select_lines) {
+  MapResult res;
+  {
+    SequenceAnalysis analysis = analyze_sequence(seq);
+    res.params = std::move(analysis.params);
+    if (analysis.failure) {
+      res.failure = analysis.failure;
+      res.detail = std::move(analysis.detail);
+      return res;
+    }
+  }
+  auto& S = res.params.S;
+
+  if (!seq::all_equal(res.params.P)) {
+    // Repair pass (beyond the paper's procedure, guarded by the replay
+    // verification below): the greedy grouping of step 5 can over-merge —
+    // two whole registers traversed once each look exactly like one twice-
+    // as-long register, inflating that group's P. Splitting every oversized
+    // group down to the gcd of the pass counts restores uniformity when the
+    // sequence allows it; genuinely non-uniform iteration counts (the
+    // paper's 12-vs-8 counter-example) still fail because the required
+    // sub-register length is fractional.
+    std::uint32_t target = 0;
+    for (std::uint32_t p : res.params.P) target = std::gcd(target, p);
+    bool repaired = target > 0;
+    std::vector<std::vector<std::uint32_t>> split;
+    std::size_t k = 0;
+    for (std::size_t g = 0; g < S.size() && repaired; ++g) {
+      const std::uint32_t iters = res.params.O[k];
+      k += S[g].size();
+      if (target % iters != 0) {
+        repaired = false;
+        break;
+      }
+      const std::uint32_t sub_len = target / iters;
+      if (sub_len == 0 || S[g].size() % sub_len != 0) {
+        repaired = false;
+        break;
+      }
+      for (std::size_t start = 0; start < S[g].size(); start += sub_len)
+        split.emplace_back(S[g].begin() + static_cast<long>(start),
+                           S[g].begin() + static_cast<long>(start + sub_len));
+    }
+    if (!repaired) {
+      res.failure = MapFailure::NonUniformPassCount;
+      res.detail = "per-register pass counts differ (" +
+                   std::to_string(res.params.P.front()) + " vs others); a single PassCnt "
+                   "cannot serve all shift registers";
+      return res;
+    }
+    S = std::move(split);
+    res.params.P.assign(S.size(), target);
+  }
+  res.params.pC = res.params.P.front();
+
+  // Assemble the candidate configuration.
+  SragConfig cfg;
+  cfg.registers = S;
+  cfg.div_count = res.params.dC;
+  cfg.pass_count = res.params.pC;
+  std::uint32_t max_addr = 0;
+  for (std::uint32_t a : seq) max_addr = std::max(max_addr, a);
+  cfg.num_select_lines = num_select_lines == 0 ? max_addr + 1 : num_select_lines;
+
+  // Verification step: replay the behavioral model against the input. The
+  // initial grouping can satisfy both counter restrictions yet still emit the
+  // wrong order (the paper's 1,2,3,4,3,2,1,4 example).
+  SragModel model(cfg);
+  const auto replay = model.generate(seq.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    if (replay[i] != seq[i]) {
+      res.failure = MapFailure::GroupingFailed;
+      res.detail = "replay diverges at access " + std::to_string(i) + ": expected " +
+                   std::to_string(seq[i]) + ", SRAG would produce " +
+                   std::to_string(replay[i]);
+      return res;
+    }
+  }
+  res.config = std::move(cfg);
+  return res;
+}
+
+}  // namespace addm::core

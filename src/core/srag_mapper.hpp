@@ -1,0 +1,64 @@
+// The automatic mapping procedure of Section 5 (the SRAdGen tool).
+//
+// Input: a one-dimensional address sequence (a RowAS or ColAS; the caller
+// maps each dimension separately, as the paper does). Output: either an
+// SragConfig whose behavioral replay reproduces the input exactly, or a
+// diagnostic naming the architectural restriction that failed:
+//  * DivCnt restriction  — address repetition lengths are not all equal;
+//  * PassCnt restriction — per-register pass counts are not all equal;
+//  * grouping failure    — the initial grouping's replay diverges from the
+//    input (the paper's 1,2,3,4,3,2,1,4 example); detected by the
+//    verification step.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+
+#include "core/srag_config.hpp"
+
+namespace addm::core {
+
+enum class MapFailure {
+  EmptySequence,
+  NonUniformDivCount,   ///< violates the DivCnt restriction
+  NonUniformPassCount,  ///< violates the PassCnt restriction
+  GroupingFailed,       ///< verification step: replay != input
+};
+
+std::string to_string(MapFailure f);
+
+struct MapResult {
+  /// Present iff mapping succeeded and was verified by replay.
+  std::optional<SragConfig> config;
+  /// Intermediate sets; filled as far as the procedure progressed.
+  MappingParameters params;
+  std::optional<MapFailure> failure;
+  std::string detail;
+
+  bool ok() const { return config.has_value(); }
+};
+
+/// Maps one address sequence onto the SRAG architecture. `num_select_lines`
+/// is the select-line count of the target dimension (0 = max address + 1).
+///
+/// Extends the paper's procedure with one repair: when the greedy grouping
+/// over-merges whole registers (inflating one group's pass count), groups
+/// are split back down to the gcd of the pass counts before the replay
+/// verification. The paper's own counter-examples still fail as published.
+MapResult map_sequence(std::span<const std::uint32_t> seq,
+                       std::uint32_t num_select_lines = 0);
+
+/// The Section-5 analysis front end alone: steps 1-6 with the paper's
+/// initial grouping and per-register pass counts, no uniformity check and no
+/// repair. Used by the multi-counter mapper, which tolerates non-uniform P.
+/// `failure` is only EmptySequence or NonUniformDivCount.
+struct SequenceAnalysis {
+  MappingParameters params;
+  std::optional<MapFailure> failure;
+  std::string detail;
+  bool ok() const { return !failure.has_value(); }
+};
+SequenceAnalysis analyze_sequence(std::span<const std::uint32_t> seq);
+
+}  // namespace addm::core

@@ -1,0 +1,46 @@
+#include "core/srag_model.hpp"
+
+#include <utility>
+
+namespace addm::core {
+
+SragModel::SragModel(SragConfig config) : config_(std::move(config)) { config_.check(); }
+
+void SragModel::pulse() {
+  // DivCnt counts every pulse; the shift fires on the pulse that completes a
+  // division period (combinational enable = next & (DivCnt == dC-1)).
+  if (++div_ < config_.div_count) return;
+  div_ = 0;
+
+  // PassCnt counts enabled shifts; `pass` is asserted during the shift on
+  // which the pre-shift count equals pC-1.
+  const bool pass = (pass_ == config_.pass_count - 1);
+  pass_ = (pass_ + 1) % config_.pass_count;
+
+  const std::size_t len = config_.registers[reg_].size();
+  if (pos_ + 1 < len) {
+    ++pos_;  // token moves down its register regardless of `pass`
+  } else {
+    pos_ = 0;
+    if (pass) reg_ = (reg_ + 1) % config_.num_registers();
+    // otherwise the register's tail feeds its own head (token wraps)
+  }
+}
+
+void SragModel::reset() {
+  reg_ = pos_ = 0;
+  div_ = pass_ = 0;
+}
+
+std::vector<std::uint32_t> SragModel::generate(std::size_t n) {
+  reset();
+  std::vector<std::uint32_t> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(current());
+    pulse();
+  }
+  return out;
+}
+
+}  // namespace addm::core

@@ -1,0 +1,56 @@
+// Behavioral (cycle-accurate) model of the SRAG architecture of Figure 5.
+//
+// The model tracks the token position and the DivCnt/PassCnt counters and
+// advances exactly as the hardware does: every `next` pulse increments
+// DivCnt; when DivCnt completes (dC pulses) the shift registers shift once;
+// every pC-th shift asserts `pass`, routing the token across the register
+// boundary instead of wrapping it. It is the executable specification the
+// gate-level elaboration is verified against, and the replay engine behind
+// the mapper's verification step.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/srag_config.hpp"
+
+namespace addm::core {
+
+class SragModel {
+ public:
+  /// Validates the config (SragConfig::check).
+  explicit SragModel(SragConfig config);
+
+  const SragConfig& config() const { return config_; }
+
+  /// Select line currently asserted (the address presented to the memory).
+  std::uint32_t current() const {
+    return config_.registers[reg_][pos_];
+  }
+
+  /// One `next` pulse.
+  void pulse();
+
+  /// Returns to the reset state: token at registers[0][0], counters cleared.
+  void reset();
+
+  /// Addresses observed over `n` accesses starting from reset: the address
+  /// before each of n-1 pulses plus the initial one (access k uses the
+  /// address valid at pulse k).
+  std::vector<std::uint32_t> generate(std::size_t n);
+
+  // Introspection (used by equivalence tests against the netlist).
+  std::size_t token_register() const { return reg_; }
+  std::size_t token_position() const { return pos_; }
+  std::uint32_t div_counter() const { return div_; }
+  std::uint32_t pass_counter() const { return pass_; }
+
+ private:
+  SragConfig config_;
+  std::size_t reg_ = 0;
+  std::size_t pos_ = 0;
+  std::uint32_t div_ = 0;
+  std::uint32_t pass_ = 0;
+};
+
+}  // namespace addm::core

@@ -1,0 +1,48 @@
+// Cubes (product terms) and covers (sums of products) over up to 24 vars.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "logic/truth_table.hpp"
+
+namespace addm::logic {
+
+/// A product term. Variable k appears iff bit k of `mask` is set; its
+/// polarity is bit k of `polarity` (1 = positive literal). A cube covers
+/// minterm m iff (m & mask) == (polarity & mask).
+struct Cube {
+  std::uint32_t mask = 0;
+  std::uint32_t polarity = 0;
+
+  int num_literals() const;
+  bool covers(std::uint64_t minterm) const {
+    return (static_cast<std::uint32_t>(minterm) & mask) == (polarity & mask);
+  }
+  /// True if every minterm of `other` is covered by *this.
+  bool contains(const Cube& other) const;
+  /// The universal cube (no literals, covers everything).
+  static Cube universe() { return {}; }
+
+  bool operator==(const Cube&) const = default;
+
+  /// e.g. "x3'·x1" (missing vars omitted); "1" for the universal cube.
+  std::string to_string() const;
+};
+
+/// A cover is an OR of cubes.
+struct Cover {
+  std::vector<Cube> cubes;
+
+  int num_cubes() const { return static_cast<int>(cubes.size()); }
+  int num_literals() const;
+
+  /// Evaluates the cover into a truth table over `num_vars` variables.
+  TruthTable to_truth_table(int num_vars) const;
+  bool evaluate(std::uint64_t minterm) const;
+
+  std::string to_string() const;
+};
+
+}  // namespace addm::logic

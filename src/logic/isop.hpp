@@ -1,0 +1,26 @@
+// Irredundant sum-of-products synthesis (Minato-Morreale ISOP).
+//
+// This is the logic minimizer behind FSM/transform synthesis, standing in
+// for the two-level minimization inside a 2002 synthesis flow (see
+// DESIGN.md section 2). Given an incompletely specified function as a pair
+// of truth tables L <= U (onset lower bound, onset|dc upper bound), it
+// returns an irredundant cover C with L <= C <= U.
+#pragma once
+
+#include "logic/cube.hpp"
+#include "logic/truth_table.hpp"
+
+namespace addm::logic {
+
+/// Minimizes an incompletely specified function. Requires L.implies(U);
+/// throws std::invalid_argument otherwise.
+Cover isop(const TruthTable& onset_lower, const TruthTable& onset_upper);
+
+/// Completely specified convenience overload.
+Cover isop(const TruthTable& f);
+
+/// True if removing any single cube from `c` stops it covering `onset_lower`
+/// (used by tests; ISOP output always satisfies this).
+bool is_irredundant(const Cover& c, const TruthTable& onset_lower, int num_vars);
+
+}  // namespace addm::logic

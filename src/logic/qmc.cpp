@@ -1,0 +1,130 @@
+#include "logic/qmc.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace addm::logic {
+
+namespace {
+
+struct CubeKey {
+  std::size_t operator()(const Cube& c) const {
+    return std::hash<std::uint64_t>()((std::uint64_t{c.mask} << 32) | c.polarity);
+  }
+};
+
+}  // namespace
+
+std::vector<Cube> prime_implicants(const TruthTable& L, const TruthTable& U) {
+  const int n = L.num_vars();
+  if (n > 12) throw std::invalid_argument("prime_implicants: too many variables");
+  if (L.num_vars() != U.num_vars() || !L.implies(U))
+    throw std::invalid_argument("prime_implicants: bad bounds");
+
+  // Level 0: all minterms of the upper bound as full cubes.
+  const std::uint32_t full_mask = (std::uint32_t{1} << n) - 1;
+  std::unordered_set<Cube, CubeKey> current;
+  for (std::uint64_t m = 0; m < U.num_minterms_capacity(); ++m)
+    if (U.get(m)) current.insert(Cube{full_mask, static_cast<std::uint32_t>(m)});
+
+  std::vector<Cube> primes;
+  while (!current.empty()) {
+    std::unordered_set<Cube, CubeKey> next;
+    std::unordered_set<Cube, CubeKey> merged;
+    const std::vector<Cube> cubes(current.begin(), current.end());
+    for (std::size_t i = 0; i < cubes.size(); ++i) {
+      for (std::size_t j = i + 1; j < cubes.size(); ++j) {
+        // Merge when masks equal and polarities differ in exactly one bit.
+        if (cubes[i].mask != cubes[j].mask) continue;
+        const std::uint32_t diff =
+            (cubes[i].polarity ^ cubes[j].polarity) & cubes[i].mask;
+        if (diff == 0 || (diff & (diff - 1)) != 0) continue;
+        Cube big;
+        big.mask = cubes[i].mask & ~diff;
+        big.polarity = cubes[i].polarity & big.mask;
+        next.insert(big);
+        merged.insert(cubes[i]);
+        merged.insert(cubes[j]);
+      }
+    }
+    for (const Cube& c : cubes)
+      if (!merged.count(c)) primes.push_back(c);
+    current = std::move(next);
+  }
+  return primes;
+}
+
+namespace {
+
+// Branch-and-bound minimum unate cover. Rows: onset minterms; columns:
+// candidate primes.
+struct CoverSolver {
+  const std::vector<Cube>* primes;
+  std::vector<std::uint64_t> minterms;
+  std::vector<std::vector<std::size_t>> coverers;  // per minterm: prime indices
+  std::vector<std::size_t> best;
+  std::vector<std::size_t> chosen;
+  std::vector<char> prime_used;
+
+  void solve(std::size_t covered_count, std::vector<char>& covered) {
+    if (!best.empty() && chosen.size() >= best.size()) return;  // bound
+    if (covered_count == minterms.size()) {
+      best = chosen;
+      return;
+    }
+    // Branch on the uncovered minterm with the fewest coverers.
+    std::size_t pick = minterms.size();
+    std::size_t fewest = SIZE_MAX;
+    for (std::size_t r = 0; r < minterms.size(); ++r) {
+      if (covered[r]) continue;
+      if (coverers[r].size() < fewest) {
+        fewest = coverers[r].size();
+        pick = r;
+      }
+    }
+    if (pick == minterms.size() || fewest == 0) return;  // uncoverable
+    for (std::size_t pi : coverers[pick]) {
+      if (prime_used[pi]) continue;
+      prime_used[pi] = 1;
+      chosen.push_back(pi);
+      std::vector<std::size_t> newly;
+      for (std::size_t r = 0; r < minterms.size(); ++r)
+        if (!covered[r] && (*primes)[pi].covers(minterms[r])) {
+          covered[r] = 1;
+          newly.push_back(r);
+        }
+      solve(covered_count + newly.size(), covered);
+      for (std::size_t r : newly) covered[r] = 0;
+      chosen.pop_back();
+      prime_used[pi] = 0;
+    }
+  }
+};
+
+}  // namespace
+
+Cover minimize_exact(const TruthTable& L, const TruthTable& U) {
+  const auto primes = prime_implicants(L, U);
+  CoverSolver solver;
+  solver.primes = &primes;
+  for (std::uint64_t m = 0; m < L.num_minterms_capacity(); ++m)
+    if (L.get(m)) solver.minterms.push_back(m);
+
+  solver.coverers.resize(solver.minterms.size());
+  for (std::size_t r = 0; r < solver.minterms.size(); ++r)
+    for (std::size_t p = 0; p < primes.size(); ++p)
+      if (primes[p].covers(solver.minterms[r])) solver.coverers[r].push_back(p);
+
+  solver.prime_used.assign(primes.size(), 0);
+  std::vector<char> covered(solver.minterms.size(), 0);
+  solver.solve(0, covered);
+
+  Cover result;
+  for (std::size_t pi : solver.best) result.cubes.push_back(primes[pi]);
+  return result;
+}
+
+Cover minimize_exact(const TruthTable& f) { return minimize_exact(f, f); }
+
+}  // namespace addm::logic

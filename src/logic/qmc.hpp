@@ -1,0 +1,25 @@
+// Exact two-level minimization (Quine-McCluskey + unate covering) for small
+// functions. Exponential; intended for n <= ~10 variables. Used by tests to
+// certify the ISOP heuristic's quality and by callers that need a guaranteed
+// minimum-cube cover (e.g. reporting how far a mapping is from optimal).
+#pragma once
+
+#include <vector>
+
+#include "logic/cube.hpp"
+#include "logic/truth_table.hpp"
+
+namespace addm::logic {
+
+/// All prime implicants of the incompletely specified function
+/// (onset_lower <= f <= onset_upper). Throws std::invalid_argument on
+/// inconsistent bounds or n > 12.
+std::vector<Cube> prime_implicants(const TruthTable& onset_lower,
+                                   const TruthTable& onset_upper);
+
+/// A minimum-cube cover: every onset minterm covered, every cube inside the
+/// upper bound. Exact via branch-and-bound over the prime implicants.
+Cover minimize_exact(const TruthTable& onset_lower, const TruthTable& onset_upper);
+Cover minimize_exact(const TruthTable& f);
+
+}  // namespace addm::logic

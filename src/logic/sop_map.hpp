@@ -1,0 +1,23 @@
+// Technology mapping of two-level covers onto the gate library.
+//
+// Each cube becomes a balanced AND2 tree over its literals; the cover output
+// is a balanced OR2 tree over the cube outputs. Whether structurally equal
+// subtrees are shared between cubes/outputs is controlled by the builder's
+// sharing flag — the knob that distinguishes "flat" from "hashed" synthesis
+// styles (see DESIGN.md).
+#pragma once
+
+#include <span>
+
+#include "logic/cube.hpp"
+#include "netlist/builder.hpp"
+
+namespace addm::logic {
+
+/// Maps `cover` over the given input nets (inputs[k] carries variable x_k).
+/// Returns the net computing the cover. Inverters for negative literals are
+/// always shared (a flat flow still shares input inverters).
+netlist::NetId map_cover(netlist::NetlistBuilder& b, const Cover& cover,
+                         std::span<const netlist::NetId> inputs);
+
+}  // namespace addm::logic

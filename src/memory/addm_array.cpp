@@ -1,0 +1,59 @@
+#include "memory/addm_array.hpp"
+
+#include <stdexcept>
+
+namespace addm::memory {
+
+AddmArray::AddmArray(seq::ArrayGeometry geom) : geom_(geom) {
+  if (geom_.size() == 0) throw std::invalid_argument("AddmArray: empty geometry");
+  cells_.assign(geom_.size(), 0);
+}
+
+void AddmArray::check_selects(std::span<const std::uint8_t> rs, std::span<const std::uint8_t> cs) const {
+  if (rs.size() != geom_.height || cs.size() != geom_.width)
+    throw std::invalid_argument("AddmArray: select vector size mismatch");
+  std::size_t rhot = 0, chot = 0;
+  for (bool b : rs) rhot += b;
+  for (bool b : cs) chot += b;
+  if (rhot != 1 || chot != 1) {
+    ++violations_;
+    if (strict_)
+      throw std::logic_error("AddmArray: select violation (rows hot=" +
+                             std::to_string(rhot) + ", cols hot=" + std::to_string(chot) +
+                             ")");
+  }
+}
+
+void AddmArray::write(std::span<const std::uint8_t> rs, std::span<const std::uint8_t> cs,
+                      std::uint32_t data) {
+  check_selects(rs, cs);
+  for (std::size_t r = 0; r < geom_.height; ++r) {
+    if (!rs[r]) continue;
+    for (std::size_t c = 0; c < geom_.width; ++c)
+      if (cs[c]) cells_[r * geom_.width + c] = data;
+  }
+}
+
+std::uint32_t AddmArray::read(std::span<const std::uint8_t> rs, std::span<const std::uint8_t> cs) const {
+  check_selects(rs, cs);
+  std::uint32_t v = 0;
+  for (std::size_t r = 0; r < geom_.height; ++r) {
+    if (!rs[r]) continue;
+    for (std::size_t c = 0; c < geom_.width; ++c)
+      if (cs[c]) v |= cells_[r * geom_.width + c];
+  }
+  return v;
+}
+
+void AddmArray::write_cell(std::size_t row, std::size_t col, std::uint32_t data) {
+  if (row >= geom_.height || col >= geom_.width)
+    throw std::out_of_range("AddmArray::write_cell");
+  cells_[row * geom_.width + col] = data;
+}
+
+std::uint32_t AddmArray::cell(std::size_t row, std::size_t col) const {
+  if (row >= geom_.height || col >= geom_.width) throw std::out_of_range("AddmArray::cell");
+  return cells_[row * geom_.width + col];
+}
+
+}  // namespace addm::memory

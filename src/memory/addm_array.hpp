@@ -1,0 +1,51 @@
+// Behavioral model of the address decoder-decoupled memory cell array
+// (Figure 2): a 2-D array accessed purely through row-select and
+// column-select lines, with no internal decoder.
+//
+// The paper's Section 7 warns that the ADDM's physical viability requires
+// that no two row (or column) select lines are ever asserted together. This
+// model enforces exactly that contract: accesses with a clean two-hot
+// selection behave like a RAM cell; violations are counted and modelled
+// pessimistically (multi-writes store to every selected cell, multi-reads
+// wire-OR the selected cells), so corruption becomes observable in tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "seq/trace.hpp"
+
+namespace addm::memory {
+
+class AddmArray {
+ public:
+  explicit AddmArray(seq::ArrayGeometry geom);
+
+  const seq::ArrayGeometry& geometry() const { return geom_; }
+
+  /// One write access: `rs`/`cs` are the select-line levels (size = height /
+  /// width). Every selected cell is written.
+  void write(std::span<const std::uint8_t> rs, std::span<const std::uint8_t> cs, std::uint32_t data);
+  /// One read access: returns the wired-OR of all selected cells (0 if none).
+  std::uint32_t read(std::span<const std::uint8_t> rs, std::span<const std::uint8_t> cs) const;
+
+  /// Convenience accessors for well-formed (single-cell) access.
+  void write_cell(std::size_t row, std::size_t col, std::uint32_t data);
+  std::uint32_t cell(std::size_t row, std::size_t col) const;
+
+  /// Select-legality accounting.
+  std::size_t violation_count() const { return violations_; }
+  /// If true (default false), an illegal selection throws std::logic_error
+  /// instead of corrupting.
+  void set_strict(bool strict) { strict_ = strict; }
+
+ private:
+  void check_selects(std::span<const std::uint8_t> rs, std::span<const std::uint8_t> cs) const;
+  mutable std::size_t violations_ = 0;
+  bool strict_ = false;
+  seq::ArrayGeometry geom_;
+  std::vector<std::uint32_t> cells_;
+};
+
+}  // namespace addm::memory

@@ -1,0 +1,43 @@
+#include "memory/array_netlist.hpp"
+
+#include <stdexcept>
+
+namespace addm::memory {
+
+using netlist::NetId;
+using netlist::NetlistBuilder;
+
+ArrayNetlistPorts build_addm_array(NetlistBuilder& b, seq::ArrayGeometry geom,
+                                   std::span<const NetId> rs, std::span<const NetId> cs,
+                                   NetId din, NetId we) {
+  if (rs.size() != geom.height || cs.size() != geom.width)
+    throw std::invalid_argument("build_addm_array: select bundle size mismatch");
+  if (geom.size() == 0 || geom.size() > 4096)
+    throw std::invalid_argument("build_addm_array: unsupported array size");
+
+  ArrayNetlistPorts ports;
+  ports.cells.reserve(geom.size());
+  std::vector<NetId> read_terms;
+  read_terms.reserve(geom.size());
+  for (std::size_t r = 0; r < geom.height; ++r) {
+    for (std::size_t c = 0; c < geom.width; ++c) {
+      const NetId selected = b.and2(rs[r], cs[c]);
+      const NetId q = b.dff_e(din, b.and2(selected, we));
+      ports.cells.push_back(q);
+      read_terms.push_back(b.and2(q, selected));
+    }
+  }
+  ports.dout = b.or_tree(read_terms);
+  return ports;
+}
+
+ArrayNetlistPorts build_decoded_array(NetlistBuilder& b, seq::ArrayGeometry geom,
+                                      std::span<const NetId> row_addr,
+                                      std::span<const NetId> col_addr, NetId din,
+                                      NetId we, synth::DecoderStyle style) {
+  const auto rs = synth::build_decoder(b, row_addr, geom.height, netlist::kConst1, style);
+  const auto cs = synth::build_decoder(b, col_addr, geom.width, netlist::kConst1, style);
+  return build_addm_array(b, geom, rs, cs, din, we);
+}
+
+}  // namespace addm::memory

@@ -1,0 +1,46 @@
+// Gate-level memory cell arrays.
+//
+// The paper's evaluation excludes the cell array ("we have not demonstrated
+// the impact of delay reduction ... on the overall memory access delay due
+// to lack of data for the memory cell array", Section 7). This module closes
+// that gap with synthesizable single-bit-per-cell arrays:
+//
+//  * build_addm_array: the ADDM array of Figure 2 — cells gated directly by
+//    RS/CS lines. Write: cell (r,c) latches din when rs[r] & cs[c] & we.
+//    Read: dout = OR over cells of (q & rs[r] & cs[c]) — a wired-OR, which
+//    also reproduces the multi-select corruption the paper warns about.
+//  * build_decoded_array: the conventional macro of Figure 1 — the same
+//    array behind internal row/column decoders driven by a binary address.
+//
+// Cell count grows as width*height; intended for small-to-medium arrays
+// (the system-delay extension bench sweeps 8x8 .. 32x32).
+#pragma once
+
+#include "netlist/builder.hpp"
+#include "seq/trace.hpp"
+#include "synth/decoder.hpp"
+
+namespace addm::memory {
+
+struct ArrayNetlistPorts {
+  netlist::NetId dout = netlist::kInvalidNet;
+  /// One flip-flop output per cell, row-major (exposed for tests).
+  std::vector<netlist::NetId> cells;
+};
+
+/// ADDM array: `rs` (height lines) and `cs` (width lines) select the cell;
+/// `we` gates writes of `din`.
+ArrayNetlistPorts build_addm_array(netlist::NetlistBuilder& b, seq::ArrayGeometry geom,
+                                   std::span<const netlist::NetId> rs,
+                                   std::span<const netlist::NetId> cs, netlist::NetId din,
+                                   netlist::NetId we);
+
+/// Conventional array: binary `row_addr`/`col_addr` are decoded internally
+/// (style selects the decoder construction), then drive the same cell array.
+ArrayNetlistPorts build_decoded_array(netlist::NetlistBuilder& b, seq::ArrayGeometry geom,
+                                      std::span<const netlist::NetId> row_addr,
+                                      std::span<const netlist::NetId> col_addr,
+                                      netlist::NetId din, netlist::NetId we,
+                                      synth::DecoderStyle style);
+
+}  // namespace addm::memory

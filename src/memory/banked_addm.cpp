@@ -1,0 +1,94 @@
+#include "memory/banked_addm.hpp"
+
+#include <stdexcept>
+
+namespace addm::memory {
+
+BankedAddm::BankedAddm(seq::ArrayGeometry geom, std::size_t banks) : geom_(geom) {
+  if (banks == 0 || geom.width % banks != 0)
+    throw std::invalid_argument("BankedAddm: bank count must divide the array width");
+  const seq::ArrayGeometry bank_geom{geom.width / banks, geom.height};
+  banks_.reserve(banks);
+  for (std::size_t i = 0; i < banks; ++i) banks_.emplace_back(bank_geom);
+}
+
+seq::ArrayGeometry BankedAddm::bank_geometry() const {
+  return {geom_.width / banks_.size(), geom_.height};
+}
+
+std::size_t BankedAddm::bank_of(std::uint32_t a) const {
+  const std::size_t col = a % geom_.width;
+  return col / bank_geometry().width;
+}
+
+std::size_t BankedAddm::local_col(std::uint32_t a) const {
+  const std::size_t col = a % geom_.width;
+  return col % bank_geometry().width;
+}
+
+std::size_t BankedAddm::checked_bank(std::span<const std::uint8_t> bank_select) const {
+  if (bank_select.size() != banks_.size())
+    throw std::invalid_argument("BankedAddm: bank select size mismatch");
+  std::size_t hot = banks_.size();
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < bank_select.size(); ++i)
+    if (bank_select[i]) {
+      hot = i;
+      ++count;
+    }
+  if (count != 1) {
+    ++bank_violations_;
+    // Pessimistic fallback: address bank 0 so corruption is observable.
+    return 0;
+  }
+  return hot;
+}
+
+void BankedAddm::write(std::span<const std::uint8_t> bank_select,
+                       std::span<const std::uint8_t> rs,
+                       std::span<const std::uint8_t> cs, std::uint32_t data) {
+  banks_[checked_bank(bank_select)].write(rs, cs, data);
+}
+
+std::uint32_t BankedAddm::read(std::span<const std::uint8_t> bank_select,
+                               std::span<const std::uint8_t> rs,
+                               std::span<const std::uint8_t> cs) const {
+  return banks_[checked_bank(bank_select)].read(rs, cs);
+}
+
+std::uint32_t BankedAddm::cell(std::size_t row, std::size_t col) const {
+  const std::size_t bw = bank_geometry().width;
+  return banks_[col / bw].cell(row, col % bw);
+}
+
+std::size_t BankedAddm::violation_count() const {
+  std::size_t n = bank_violations_;
+  for (const auto& b : banks_) n += b.violation_count();
+  return n;
+}
+
+InterconnectCost BankedAddm::interconnect_cost() const {
+  const auto bg = bank_geometry();
+  InterconnectCost c;
+  for (std::size_t i = 0; i < banks_.size(); ++i) {
+    c.select_wires += bg.height + bg.width;
+    // RS lines run across the bank width; CS lines down the bank height.
+    c.wire_length_units += static_cast<double>(bg.height) * static_cast<double>(bg.width) +
+                           static_cast<double>(bg.width) * static_cast<double>(bg.height);
+  }
+  c.max_line_length_units =
+      static_cast<double>(bg.width > bg.height ? bg.width : bg.height);
+  return c;
+}
+
+InterconnectCost BankedAddm::monolithic_cost(seq::ArrayGeometry geom) {
+  InterconnectCost c;
+  c.select_wires = geom.height + geom.width;
+  c.wire_length_units =
+      2.0 * static_cast<double>(geom.height) * static_cast<double>(geom.width);
+  c.max_line_length_units =
+      static_cast<double>(geom.width > geom.height ? geom.width : geom.height);
+  return c;
+}
+
+}  // namespace addm::memory

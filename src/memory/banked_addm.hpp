@@ -1,0 +1,72 @@
+// Banked (distributed) ADDM — Section 7: "As most modern high-performance
+// memory systems are based on distributed memory architectures, the
+// interconnect and routing costs should also be considered."
+//
+// The array is split into B equal vertical banks (column-range partitions),
+// each a private AddmArray with its own RS/CS select bundles. A banked
+// access asserts the selects of exactly one bank. The model tracks the same
+// two-hot legality contract per bank, plus an interconnect-cost estimate:
+// select wiring scales with the bank perimeter instead of the full array's,
+// which is the routing argument for distribution.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "memory/addm_array.hpp"
+#include "seq/trace.hpp"
+
+namespace addm::memory {
+
+/// Wiring-cost estimate for a select-line bundle layout.
+struct InterconnectCost {
+  std::size_t select_wires = 0;    ///< total RS+CS lines routed
+  double wire_length_units = 0.0;  ///< sum of estimated per-line lengths
+  /// Longest single select line (the capacitive worst case a driver sees);
+  /// banking's routing benefit is cutting this from `width` to `width/B`.
+  double max_line_length_units = 0.0;
+};
+
+class BankedAddm {
+ public:
+  /// Splits `geom` into `banks` vertical slices; width must divide evenly.
+  BankedAddm(seq::ArrayGeometry geom, std::size_t banks);
+
+  std::size_t num_banks() const { return banks_.size(); }
+  const seq::ArrayGeometry& geometry() const { return geom_; }
+  seq::ArrayGeometry bank_geometry() const;
+
+  /// Bank owning a linear address (column-range partitioning).
+  std::size_t bank_of(std::uint32_t linear_address) const;
+  /// Column index within its bank.
+  std::size_t local_col(std::uint32_t linear_address) const;
+
+  /// Banked write/read: `bank_select` (one-hot over banks) chooses the bank;
+  /// `rs`/`cs` are that bank's local selects (cs sized to the bank width).
+  void write(std::span<const std::uint8_t> bank_select, std::span<const std::uint8_t> rs,
+             std::span<const std::uint8_t> cs, std::uint32_t data);
+  std::uint32_t read(std::span<const std::uint8_t> bank_select,
+                     std::span<const std::uint8_t> rs,
+                     std::span<const std::uint8_t> cs) const;
+
+  /// Direct access for verification.
+  std::uint32_t cell(std::size_t row, std::size_t col) const;
+
+  std::size_t violation_count() const;
+
+  /// Select-wiring estimate for this banking degree: each bank routes
+  /// height RS lines across its width and bank-width CS lines across the
+  /// height (Manhattan estimate, cell pitch = 1 unit).
+  InterconnectCost interconnect_cost() const;
+  /// The same estimate for a monolithic (1-bank) array of `geom`.
+  static InterconnectCost monolithic_cost(seq::ArrayGeometry geom);
+
+ private:
+  std::size_t checked_bank(std::span<const std::uint8_t> bank_select) const;
+  seq::ArrayGeometry geom_;
+  std::vector<AddmArray> banks_;
+  mutable std::size_t bank_violations_ = 0;
+};
+
+}  // namespace addm::memory

@@ -1,0 +1,22 @@
+#include "memory/conventional_ram.hpp"
+
+#include <stdexcept>
+
+namespace addm::memory {
+
+ConventionalRam::ConventionalRam(seq::ArrayGeometry geom) : geom_(geom) {
+  if (geom_.size() == 0) throw std::invalid_argument("ConventionalRam: empty geometry");
+  cells_.assign(geom_.size(), 0);
+}
+
+void ConventionalRam::write(std::uint32_t address, std::uint32_t data) {
+  if (address >= cells_.size()) throw std::out_of_range("ConventionalRam::write");
+  cells_[address] = data;
+}
+
+std::uint32_t ConventionalRam::read(std::uint32_t address) const {
+  if (address >= cells_.size()) throw std::out_of_range("ConventionalRam::read");
+  return cells_[address];
+}
+
+}  // namespace addm::memory

@@ -1,0 +1,28 @@
+// Behavioral model of the conventional RAM of Figure 1: binary-addressed,
+// with the row/column decode happening inside the macro. Used as the
+// functional reference the ADDM systems are checked against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "seq/trace.hpp"
+
+namespace addm::memory {
+
+class ConventionalRam {
+ public:
+  explicit ConventionalRam(seq::ArrayGeometry geom);
+
+  const seq::ArrayGeometry& geometry() const { return geom_; }
+
+  /// Linear-address access (the macro splits row/column internally).
+  void write(std::uint32_t address, std::uint32_t data);
+  std::uint32_t read(std::uint32_t address) const;
+
+ private:
+  seq::ArrayGeometry geom_;
+  std::vector<std::uint32_t> cells_;
+};
+
+}  // namespace addm::memory

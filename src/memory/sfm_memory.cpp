@@ -1,0 +1,27 @@
+#include "memory/sfm_memory.hpp"
+
+#include <stdexcept>
+
+namespace addm::memory {
+
+SfmMemory::SfmMemory(std::size_t cells) {
+  if (cells == 0) throw std::invalid_argument("SfmMemory: zero cells");
+  cells_.assign(cells, 0);
+}
+
+void SfmMemory::push(std::uint32_t data) {
+  if (full()) throw std::logic_error("SfmMemory::push: overflow");
+  cells_[tail_] = data;
+  tail_ = (tail_ + 1) % cells_.size();
+  ++occupancy_;
+}
+
+std::uint32_t SfmMemory::pop() {
+  if (empty()) throw std::logic_error("SfmMemory::pop: underflow");
+  const std::uint32_t v = cells_[head_];
+  head_ = (head_ + 1) % cells_.size();
+  --occupancy_;
+  return v;
+}
+
+}  // namespace addm::memory

@@ -1,0 +1,34 @@
+// Behavioral Sequential FIFO Memory (Aloqeely, Figure 6): a 1-D cell array
+// whose write cell is chosen by the tail pointer and read cell by the head
+// pointer, both advancing one position per access.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace addm::memory {
+
+class SfmMemory {
+ public:
+  explicit SfmMemory(std::size_t cells);
+
+  std::size_t capacity() const { return cells_.size(); }
+  std::size_t occupancy() const { return occupancy_; }
+  bool full() const { return occupancy_ == cells_.size(); }
+  bool empty() const { return occupancy_ == 0; }
+
+  /// Writes at the tail pointer and advances it. Throws std::logic_error on
+  /// overflow (the SFM has no backpressure of its own).
+  void push(std::uint32_t data);
+  /// Reads at the head pointer and advances it. Throws on underflow.
+  std::uint32_t pop();
+
+  std::size_t head() const { return head_; }
+  std::size_t tail() const { return tail_; }
+
+ private:
+  std::vector<std::uint32_t> cells_;
+  std::size_t head_ = 0, tail_ = 0, occupancy_ = 0;
+};
+
+}  // namespace addm::memory

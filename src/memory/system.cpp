@@ -1,0 +1,67 @@
+#include "memory/system.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "core/metrics.hpp"
+
+namespace addm::memory {
+
+AddmSystem::AddmSystem(const seq::AddressTrace& write_trace,
+                       const seq::AddressTrace& read_trace)
+    : write_trace_(write_trace),
+      read_trace_(read_trace),
+      array_(write_trace.geometry()) {
+  if (!(write_trace.geometry() == read_trace.geometry()))
+    throw std::invalid_argument("AddmSystem: traces target different geometries");
+  write_gen_ = core::build_srag_2d_for_trace(write_trace_).netlist;
+  read_gen_ = core::build_srag_2d_for_trace(read_trace_).netlist;
+}
+
+std::vector<std::uint8_t> AddmSystem::bus_values(const sim::Simulator& s,
+                                                 const char* prefix,
+                                                 std::size_t width) const {
+  std::vector<std::uint8_t> v(width);
+  for (std::size_t i = 0; i < width; ++i)
+    v[i] = s.get(std::string(prefix) + "[" + std::to_string(i) + "]");
+  return v;
+}
+
+std::vector<std::uint32_t> AddmSystem::run(std::span<const std::uint32_t> data) {
+  if (data.size() != write_trace_.length())
+    throw std::invalid_argument("AddmSystem::run: data length != write trace length");
+  const auto& g = array_.geometry();
+
+  // Write phase.
+  {
+    sim::Simulator s(write_gen_);
+    s.set("reset", true);
+    s.set("next", false);
+    s.step();
+    s.set("reset", false);
+    s.set("next", true);
+    for (std::size_t k = 0; k < data.size(); ++k) {
+      array_.write(bus_values(s, "rs", g.height), bus_values(s, "cs", g.width), data[k]);
+      s.step();
+    }
+  }
+
+  // Read phase.
+  std::vector<std::uint32_t> out;
+  out.reserve(read_trace_.length());
+  {
+    sim::Simulator s(read_gen_);
+    s.set("reset", true);
+    s.set("next", false);
+    s.step();
+    s.set("reset", false);
+    s.set("next", true);
+    for (std::size_t k = 0; k < read_trace_.length(); ++k) {
+      out.push_back(array_.read(bus_values(s, "rs", g.height), bus_values(s, "cs", g.width)));
+      s.step();
+    }
+  }
+  return out;
+}
+
+}  // namespace addm::memory

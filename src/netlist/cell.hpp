@@ -1,0 +1,85 @@
+// Cell types for the gate-level netlist substrate.
+//
+// The cell set mirrors a small 0.18um-class standard-cell library: simple
+// combinational gates, a 2:1 mux, and D flip-flop variants with synchronous
+// reset/set and clock-enable. All sequential cells share one implicit clock.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace addm::netlist {
+
+/// Identifier of a net (wire). Net 0 and net 1 are the constant-0 and
+/// constant-1 nets and are pre-created in every Netlist.
+using NetId = std::uint32_t;
+
+inline constexpr NetId kConst0 = 0;
+inline constexpr NetId kConst1 = 1;
+inline constexpr NetId kInvalidNet = 0xFFFFFFFFu;
+
+/// Standard-cell types.
+///
+/// Input-pin conventions (order of Cell::inputs):
+///  - Inv/Buf:            {a}
+///  - 2-input gates:      {a, b}
+///  - Mux2:               {sel, d0, d1}    out = sel ? d1 : d0
+///  - Dff:                {d}
+///  - DffR:               {d, rst}         rst==1 -> next state 0
+///  - DffS:               {d, set}         set==1 -> next state 1
+///  - DffE:               {d, en}          en==0  -> hold
+///  - DffER:              {d, en, rst}     rst dominant, then enable
+///  - DffES:              {d, en, set}     set dominant, then enable
+enum class CellType : std::uint8_t {
+  Inv,
+  Buf,
+  Nand2,
+  Nor2,
+  And2,
+  Or2,
+  Xor2,
+  Xnor2,
+  Mux2,
+  Dff,
+  DffR,
+  DffS,
+  DffE,
+  DffER,
+  DffES,
+};
+
+inline constexpr int kNumCellTypes = static_cast<int>(CellType::DffES) + 1;
+
+/// Static per-type metadata.
+struct CellTraits {
+  std::string_view name;  ///< mnemonic, stable across releases (used by codegen)
+  int num_inputs;         ///< exact arity of Cell::inputs
+  bool sequential;        ///< true for flip-flop variants
+  bool commutative;       ///< inputs may be sorted for structural hashing
+};
+
+constexpr CellTraits traits(CellType t) {
+  switch (t) {
+    case CellType::Inv:   return {"INV", 1, false, false};
+    case CellType::Buf:   return {"BUF", 1, false, false};
+    case CellType::Nand2: return {"NAND2", 2, false, true};
+    case CellType::Nor2:  return {"NOR2", 2, false, true};
+    case CellType::And2:  return {"AND2", 2, false, true};
+    case CellType::Or2:   return {"OR2", 2, false, true};
+    case CellType::Xor2:  return {"XOR2", 2, false, true};
+    case CellType::Xnor2: return {"XNOR2", 2, false, true};
+    case CellType::Mux2:  return {"MUX2", 3, false, false};
+    case CellType::Dff:   return {"DFF", 1, true, false};
+    case CellType::DffR:  return {"DFFR", 2, true, false};
+    case CellType::DffS:  return {"DFFS", 2, true, false};
+    case CellType::DffE:  return {"DFFE", 2, true, false};
+    case CellType::DffER: return {"DFFER", 3, true, false};
+    case CellType::DffES: return {"DFFES", 3, true, false};
+  }
+  return {"?", 0, false, false};
+}
+
+constexpr bool is_sequential(CellType t) { return traits(t).sequential; }
+constexpr std::string_view cell_name(CellType t) { return traits(t).name; }
+
+}  // namespace addm::netlist

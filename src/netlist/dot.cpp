@@ -1,0 +1,42 @@
+#include "netlist/dot.hpp"
+
+#include <sstream>
+
+namespace addm::netlist {
+
+std::string to_dot(const Netlist& nl, const std::string& graph_name) {
+  std::ostringstream os;
+  os << "digraph " << graph_name << " {\n  rankdir=LR;\n";
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i)
+    os << "  pi" << nl.inputs()[i] << " [shape=ellipse,label=\"" << nl.input_name(i)
+       << "\"];\n";
+  for (std::size_t i = 0; i < nl.cells().size(); ++i) {
+    const Cell& c = nl.cell(i);
+    os << "  c" << i << " [shape=box,label=\"" << cell_name(c.type) << "\"];\n";
+  }
+  auto src_node = [&](NetId n) -> std::string {
+    if (n == kConst0) return "const0";
+    if (n == kConst1) return "const1";
+    if (nl.is_primary_input(n)) return "pi" + std::to_string(n);
+    if (auto d = nl.driver_of(n)) return "c" + std::to_string(*d);
+    return "undriven" + std::to_string(n);
+  };
+  bool used_c0 = false, used_c1 = false;
+  for (std::size_t i = 0; i < nl.cells().size(); ++i) {
+    for (NetId in : nl.cell(i).inputs) {
+      used_c0 |= (in == kConst0);
+      used_c1 |= (in == kConst1);
+      os << "  " << src_node(in) << " -> c" << i << ";\n";
+    }
+  }
+  if (used_c0) os << "  const0 [shape=plaintext,label=\"0\"];\n";
+  if (used_c1) os << "  const1 [shape=plaintext,label=\"1\"];\n";
+  for (std::size_t i = 0; i < nl.outputs().size(); ++i) {
+    os << "  po" << i << " [shape=ellipse,label=\"" << nl.output_name(i) << "\"];\n";
+    os << "  " << src_node(nl.outputs()[i]) << " -> po" << i << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace addm::netlist

@@ -1,0 +1,15 @@
+// Graphviz DOT export for small netlists (documentation and debugging).
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace addm::netlist {
+
+/// Renders the netlist as a DOT digraph. Cells become boxes labelled with
+/// their type; primary inputs/outputs become ellipses labelled with their
+/// port names. Intended for small circuits (examples, docs).
+std::string to_dot(const Netlist& nl, const std::string& graph_name = "netlist");
+
+}  // namespace addm::netlist

@@ -1,0 +1,31 @@
+// Text serialization for netlists.
+//
+// A simple line-oriented format ('#' comments), stable across releases, for
+// exchanging netlists between tools and for golden-file testing:
+//
+//   netlist v1
+//   nets <count>
+//   input <net> <name>
+//   output <net> <name>
+//   cell <TYPE> [xDRIVE] -> <out> <in0> [in1 [in2]]
+//
+// Net ids are preserved exactly (including the constant nets 0/1), so a
+// round trip reproduces the netlist verbatim.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace addm::netlist {
+
+void write_netlist(std::ostream& out, const Netlist& nl);
+std::string write_netlist_string(const Netlist& nl);
+
+/// Throws std::invalid_argument with a line-numbered message on malformed
+/// input (unknown cell type, bad arity, undeclared nets, ...).
+Netlist read_netlist(std::istream& in);
+Netlist read_netlist_string(const std::string& text);
+
+}  // namespace addm::netlist

@@ -1,0 +1,86 @@
+#include "seq/analysis.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace addm::seq {
+
+std::vector<std::uint32_t> run_lengths(std::span<const std::uint32_t> seq) {
+  std::vector<std::uint32_t> d;
+  std::size_t i = 0;
+  while (i < seq.size()) {
+    std::size_t j = i + 1;
+    while (j < seq.size() && seq[j] == seq[i]) ++j;
+    d.push_back(static_cast<std::uint32_t>(j - i));
+    i = j;
+  }
+  return d;
+}
+
+bool all_equal(std::span<const std::uint32_t> xs) {
+  if (xs.empty()) return false;
+  for (std::uint32_t x : xs)
+    if (x != xs.front()) return false;
+  return true;
+}
+
+std::vector<std::uint32_t> collapse_runs(std::span<const std::uint32_t> seq) {
+  std::vector<std::uint32_t> r;
+  for (std::size_t i = 0; i < seq.size(); ++i)
+    if (i == 0 || seq[i] != seq[i - 1]) r.push_back(seq[i]);
+  return r;
+}
+
+std::vector<std::uint32_t> unique_in_order(std::span<const std::uint32_t> seq) {
+  std::vector<std::uint32_t> u;
+  std::unordered_set<std::uint32_t> seen;
+  for (std::uint32_t x : seq)
+    if (seen.insert(x).second) u.push_back(x);
+  return u;
+}
+
+OccurrenceInfo occurrence_info(std::span<const std::uint32_t> reduced,
+                               std::span<const std::uint32_t> unique) {
+  std::unordered_map<std::uint32_t, std::size_t> index;
+  for (std::size_t k = 0; k < unique.size(); ++k) index.emplace(unique[k], k);
+  OccurrenceInfo info;
+  info.occurrences.assign(unique.size(), 0);
+  info.first_pos.assign(unique.size(), 0);
+  std::vector<bool> seen(unique.size(), false);
+  for (std::size_t i = 0; i < reduced.size(); ++i) {
+    const auto it = index.find(reduced[i]);
+    if (it == index.end()) continue;  // element not in `unique`; caller's bug
+    const std::size_t k = it->second;
+    ++info.occurrences[k];
+    if (!seen[k]) {
+      seen[k] = true;
+      info.first_pos[k] = static_cast<std::uint32_t>(i);
+    }
+  }
+  return info;
+}
+
+std::size_t smallest_period(std::span<const std::uint32_t> seq) {
+  for (std::size_t p = 1; p < seq.size(); ++p) {
+    bool ok = true;
+    for (std::size_t i = 0; i + p < seq.size(); ++i)
+      if (seq[i] != seq[i + p]) {
+        ok = false;
+        break;
+      }
+    if (ok) return p;
+  }
+  return seq.size();
+}
+
+bool is_permutation_of_range(std::span<const std::uint32_t> seq, std::uint32_t n) {
+  if (seq.size() != n) return false;
+  std::vector<bool> seen(n, false);
+  for (std::uint32_t x : seq) {
+    if (x >= n || seen[x]) return false;
+    seen[x] = true;
+  }
+  return true;
+}
+
+}  // namespace addm::seq

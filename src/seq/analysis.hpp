@@ -1,0 +1,41 @@
+// Sequence analysis helpers used by the SRAG mapping procedure (Section 5)
+// and by tests/benches.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace addm::seq {
+
+/// Lengths of maximal runs of equal consecutive elements — the paper's
+/// division-count set D for a sequence I.
+std::vector<std::uint32_t> run_lengths(std::span<const std::uint32_t> seq);
+
+/// True if all elements are equal (and the span is non-empty).
+bool all_equal(std::span<const std::uint32_t> xs);
+
+/// Collapses each run of equal consecutive elements to one element — the
+/// paper's reduced sequence R.
+std::vector<std::uint32_t> collapse_runs(std::span<const std::uint32_t> seq);
+
+/// Elements in order of first appearance — the paper's unique sequence U.
+std::vector<std::uint32_t> unique_in_order(std::span<const std::uint32_t> seq);
+
+/// occurrences[k] = how often unique element k appears (the paper's O);
+/// first_pos[k] = index of its first appearance (the paper's Z).
+struct OccurrenceInfo {
+  std::vector<std::uint32_t> occurrences;
+  std::vector<std::uint32_t> first_pos;
+};
+OccurrenceInfo occurrence_info(std::span<const std::uint32_t> reduced,
+                               std::span<const std::uint32_t> unique);
+
+/// Smallest p such that seq[i] == seq[i+p] for all i (seq.size() if aperiodic).
+std::size_t smallest_period(std::span<const std::uint32_t> seq);
+
+/// True if seq visits each of 0..n-1 exactly once.
+bool is_permutation_of_range(std::span<const std::uint32_t> seq, std::uint32_t n);
+
+}  // namespace addm::seq

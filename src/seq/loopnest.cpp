@@ -1,0 +1,135 @@
+#include "seq/loopnest.hpp"
+
+#include <stdexcept>
+
+#include "seq/workloads.hpp"
+
+namespace addm::seq {
+
+std::size_t Loop::trip_count() const {
+  if (step == 0) throw std::invalid_argument("Loop '" + name + "': zero step");
+  if (step > 0) {
+    if (lower >= upper)
+      throw std::invalid_argument("Loop '" + name + "': empty ascending range");
+    return static_cast<std::size_t>((upper - lower + step - 1) / step);
+  }
+  if (lower <= upper)
+    throw std::invalid_argument("Loop '" + name + "': empty descending range");
+  return static_cast<std::size_t>((lower - upper + (-step) - 1) / (-step));
+}
+
+namespace {
+long dot(const std::vector<long>& coeffs, const std::vector<long>& ivs, long offset) {
+  long v = offset;
+  for (std::size_t i = 0; i < coeffs.size() && i < ivs.size(); ++i)
+    v += coeffs[i] * ivs[i];
+  return v;
+}
+}  // namespace
+
+long AffineAccess::row(const std::vector<long>& ivs) const {
+  return dot(row_coeffs, ivs, row_offset);
+}
+
+long AffineAccess::col(const std::vector<long>& ivs) const {
+  return dot(col_coeffs, ivs, col_offset);
+}
+
+LoopNest& LoopNest::add(std::string name, long lower, long upper, long step) {
+  loops_.push_back(Loop{std::move(name), lower, upper, step});
+  return *this;
+}
+
+std::size_t LoopNest::iterations() const {
+  std::size_t n = 1;
+  for (const Loop& l : loops_) n *= l.trip_count();
+  return n;
+}
+
+AddressTrace LoopNest::trace(const AffineAccess& access, ArrayGeometry geom,
+                             std::string name) const {
+  if (loops_.empty()) throw std::invalid_argument("LoopNest::trace: empty nest");
+  for (const Loop& l : loops_) (void)l.trip_count();  // validate all bounds
+
+  std::vector<std::uint32_t> addrs;
+  addrs.reserve(iterations());
+  std::vector<long> ivs(loops_.size());
+  for (std::size_t i = 0; i < loops_.size(); ++i) ivs[i] = loops_[i].lower;
+
+  const auto in_range = [](long v, long limit) { return v >= 0 && v < limit; };
+  for (;;) {
+    const long r = access.row(ivs);
+    const long c = access.col(ivs);
+    if (!in_range(r, static_cast<long>(geom.height)) ||
+        !in_range(c, static_cast<long>(geom.width)))
+      throw std::invalid_argument("LoopNest::trace: access (" + std::to_string(r) + "," +
+                                  std::to_string(c) + ") outside the array");
+    addrs.push_back(static_cast<std::uint32_t>(r * static_cast<long>(geom.width) + c));
+
+    // Odometer increment, innermost fastest.
+    std::size_t level = loops_.size();
+    while (level > 0) {
+      const std::size_t i = level - 1;
+      ivs[i] += loops_[i].step;
+      const bool done = loops_[i].step > 0 ? ivs[i] >= loops_[i].upper
+                                           : ivs[i] <= loops_[i].upper;
+      if (!done) break;
+      ivs[i] = loops_[i].lower;
+      --level;
+    }
+    if (level == 0) break;
+  }
+  return AddressTrace(geom, std::move(addrs), std::move(name));
+}
+
+LoopNestProgram motion_estimation_program(const MotionEstimationParams& p) {
+  p.check();
+  LoopNestProgram prog;
+  prog.geometry = {p.img_width, p.img_height};
+  const long gh = static_cast<long>(p.img_height / p.mb_height);
+  const long gw = static_cast<long>(p.img_width / p.mb_width);
+  prog.nest.add("g", 0, gh)
+      .add("h", 0, gw);
+  if (p.m > 0) {
+    prog.nest.add("i", -p.m, p.m).add("j", -p.m, p.m);
+  }
+  prog.nest.add("k", 0, static_cast<long>(p.mb_height))
+      .add("l", 0, static_cast<long>(p.mb_width));
+  // row = g*mb_height + k; col = h*mb_width + l. The i/j search loops do not
+  // appear in new_img's access function (coefficients 0).
+  const std::size_t nl = prog.nest.loops().size();
+  prog.access.row_coeffs.assign(nl, 0);
+  prog.access.col_coeffs.assign(nl, 0);
+  prog.access.row_coeffs[0] = static_cast<long>(p.mb_height);
+  prog.access.col_coeffs[1] = static_cast<long>(p.mb_width);
+  prog.access.row_coeffs[nl - 2] = 1;  // k
+  prog.access.col_coeffs[nl - 1] = 1;  // l
+  return prog;
+}
+
+LoopNestProgram raster_program(ArrayGeometry g) {
+  LoopNestProgram prog;
+  prog.geometry = g;
+  prog.nest.add("r", 0, static_cast<long>(g.height))
+      .add("c", 0, static_cast<long>(g.width));
+  prog.access.row_coeffs = {1, 0};
+  prog.access.col_coeffs = {0, 1};
+  return prog;
+}
+
+LoopNestProgram dct_block_column_program(ArrayGeometry g, std::size_t block) {
+  if (block == 0 || g.width % block != 0 || g.height % block != 0)
+    throw std::invalid_argument("dct_block_column_program: block must tile the array");
+  LoopNestProgram prog;
+  prog.geometry = g;
+  prog.nest.add("bg", 0, static_cast<long>(g.height / block))
+      .add("bh", 0, static_cast<long>(g.width / block))
+      .add("c", 0, static_cast<long>(block))
+      .add("r", 0, static_cast<long>(block));
+  const long bl = static_cast<long>(block);
+  prog.access.row_coeffs = {bl, 0, 0, 1};
+  prog.access.col_coeffs = {0, bl, 1, 0};
+  return prog;
+}
+
+}  // namespace addm::seq

@@ -1,0 +1,89 @@
+#include "seq/trace_io.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace addm::seq {
+
+namespace {
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::invalid_argument("trace parse error at line " + std::to_string(line) + ": " +
+                              what);
+}
+}  // namespace
+
+AddressTrace read_trace(std::istream& in) {
+  ArrayGeometry geom{};
+  bool have_geometry = false;
+  std::string trace_name;
+  std::vector<std::uint32_t> addrs;
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string first;
+    if (!(ls >> first)) continue;  // blank / comment-only line
+
+    if (first == "geometry") {
+      if (have_geometry) fail(line_no, "duplicate geometry");
+      if (!(ls >> geom.width >> geom.height) || geom.width == 0 || geom.height == 0)
+        fail(line_no, "expected 'geometry <width> <height>' with positive sizes");
+      have_geometry = true;
+      std::string extra;
+      if (ls >> extra) fail(line_no, "trailing token '" + extra + "'");
+      continue;
+    }
+    if (first == "name") {
+      if (!(ls >> trace_name)) fail(line_no, "expected 'name <identifier>'");
+      continue;
+    }
+
+    // Otherwise the whole line is addresses (first is the first of them).
+    if (!have_geometry) fail(line_no, "addresses before the geometry directive");
+    std::istringstream as(line);
+    std::string tok;
+    while (as >> tok) {
+      std::size_t used = 0;
+      unsigned long v = 0;
+      try {
+        v = std::stoul(tok, &used, 10);
+      } catch (const std::exception&) {
+        fail(line_no, "not an address: '" + tok + "'");
+      }
+      if (used != tok.size()) fail(line_no, "not an address: '" + tok + "'");
+      if (v >= geom.size())
+        fail(line_no, "address " + tok + " outside the " + std::to_string(geom.width) +
+                          "x" + std::to_string(geom.height) + " array");
+      addrs.push_back(static_cast<std::uint32_t>(v));
+    }
+  }
+  if (!have_geometry) throw std::invalid_argument("trace parse error: missing geometry");
+  if (addrs.empty()) throw std::invalid_argument("trace parse error: no addresses");
+  return AddressTrace(geom, std::move(addrs), std::move(trace_name));
+}
+
+AddressTrace read_trace_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_trace(in);
+}
+
+void write_trace(std::ostream& out, const AddressTrace& trace) {
+  out << "# addm address trace (" << trace.length() << " accesses)\n";
+  out << "geometry " << trace.geometry().width << " " << trace.geometry().height << "\n";
+  if (!trace.name().empty()) out << "name " << trace.name() << "\n";
+  const auto& a = trace.linear();
+  for (std::size_t i = 0; i < a.size(); ++i)
+    out << a[i] << (((i + 1) % 16 == 0 || i + 1 == a.size()) ? "\n" : " ");
+}
+
+std::string write_trace_string(const AddressTrace& trace) {
+  std::ostringstream os;
+  write_trace(os, trace);
+  return os.str();
+}
+
+}  // namespace addm::seq

@@ -1,0 +1,30 @@
+// Text serialization for address traces.
+//
+// Format (line oriented, '#' starts a comment):
+//
+//   # optional comments
+//   geometry <width> <height>
+//   name <identifier>          (optional)
+//   <addr> <addr> ...          (any number of lines of linear addresses)
+//
+// Used by the sradgen tool and for exchanging traces with external
+// profilers/simulators.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "seq/trace.hpp"
+
+namespace addm::seq {
+
+/// Parses a trace; throws std::invalid_argument with a line-numbered message
+/// on malformed input.
+AddressTrace read_trace(std::istream& in);
+AddressTrace read_trace_string(const std::string& text);
+
+/// Writes the trace in the format above (16 addresses per line).
+void write_trace(std::ostream& out, const AddressTrace& trace);
+std::string write_trace_string(const AddressTrace& trace);
+
+}  // namespace addm::seq

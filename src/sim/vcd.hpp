@@ -1,0 +1,58 @@
+// VCD (Value Change Dump) waveform capture for the cycle simulator.
+//
+// Records the primary inputs, primary outputs and (optionally) every
+// internal net of a Simulator run into the standard IEEE-1364 VCD text
+// format, so generator behaviour can be inspected in GTKWave & co.
+//
+// Usage:
+//   sim::Simulator s(nl);
+//   sim::VcdRecorder vcd(s, "srag");        // header is captured here
+//   ... drive inputs ...
+//   s.step(); vcd.sample();                  // one sample per cycle
+//   std::ofstream("wave.vcd") << vcd.str();
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace addm::sim {
+
+struct VcdOptions {
+  bool include_internal_nets = false;  ///< dump every cell output too
+  std::string timescale = "1ns";
+};
+
+class VcdRecorder {
+ public:
+  /// Binds to `sim` (which must outlive the recorder) and snapshots the
+  /// initial values as time 0.
+  explicit VcdRecorder(const Simulator& sim, std::string top_name = "top",
+                       VcdOptions options = VcdOptions());
+
+  /// Records the current values as the next timestep.
+  void sample();
+
+  /// Complete VCD document (header + all samples so far).
+  std::string str() const;
+
+  std::size_t samples() const { return time_; }
+
+ private:
+  struct Signal {
+    netlist::NetId net;
+    std::string id;    // VCD short identifier
+    std::string name;  // human-readable
+    bool last = false;
+  };
+  static std::string make_id(std::size_t index);
+
+  const Simulator* sim_;
+  std::string header_;
+  std::string body_;
+  std::vector<Signal> signals_;
+  std::size_t time_ = 0;
+};
+
+}  // namespace addm::sim

@@ -1,0 +1,27 @@
+#include "synth/adder.hpp"
+
+#include <stdexcept>
+
+namespace addm::synth {
+
+using netlist::NetId;
+using netlist::NetlistBuilder;
+
+AdderPorts build_adder(NetlistBuilder& b, std::span<const NetId> a,
+                       std::span<const NetId> b_in, NetId cin) {
+  if (a.size() != b_in.size() || a.empty())
+    throw std::invalid_argument("build_adder: width mismatch or empty");
+  AdderPorts ports;
+  ports.sum.reserve(a.size());
+  NetId carry = cin;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    const NetId axb = b.xor2(a[k], b_in[k]);
+    ports.sum.push_back(b.xor2(axb, carry));
+    // carry = a&b | carry&(a^b)
+    carry = b.or2(b.and2(a[k], b_in[k]), b.and2(carry, axb));
+  }
+  ports.carry_out = carry;
+  return ports;
+}
+
+}  // namespace addm::synth

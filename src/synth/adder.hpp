@@ -1,0 +1,23 @@
+// Ripple-carry adder generator (substrate for the arithmetic-based address
+// generator baseline of the related work [Miranda et al., ADOPT]).
+#pragma once
+
+#include <vector>
+
+#include "netlist/builder.hpp"
+
+namespace addm::synth {
+
+struct AdderPorts {
+  std::vector<netlist::NetId> sum;  ///< LSB first, same width as the inputs
+  netlist::NetId carry_out = netlist::kInvalidNet;
+};
+
+/// sum = a + b + cin (mod 2^width); widths must match. The serial carry
+/// chain is the classic area-lean choice — and exactly why arithmetic-based
+/// generators lose to counter-based ones on delay for regular patterns.
+AdderPorts build_adder(netlist::NetlistBuilder& b, std::span<const netlist::NetId> a,
+                       std::span<const netlist::NetId> b_in,
+                       netlist::NetId cin = netlist::kConst0);
+
+}  // namespace addm::synth

@@ -1,0 +1,89 @@
+#include "synth/counter.hpp"
+
+#include <stdexcept>
+
+namespace addm::synth {
+
+using netlist::kConst1;
+using netlist::NetId;
+using netlist::NetlistBuilder;
+
+int bits_for(std::uint64_t n) {
+  int b = 1;
+  while ((std::uint64_t{1} << b) < n) ++b;
+  return b;
+}
+
+namespace {
+
+// Carry into bit k of an incrementer over `q` (carry[0] = 1).
+std::vector<NetId> increment_carries(NetlistBuilder& b, std::span<const NetId> q,
+                                     CarryStyle style) {
+  std::vector<NetId> carry(q.size());
+  if (style == CarryStyle::Ripple) {
+    NetId c = kConst1;
+    for (std::size_t k = 0; k < q.size(); ++k) {
+      carry[k] = c;
+      c = b.and2(c, q[k]);
+    }
+  } else {
+    for (std::size_t k = 0; k < q.size(); ++k)
+      carry[k] = b.and_tree(q.subspan(0, k));
+  }
+  return carry;
+}
+
+}  // namespace
+
+CounterPorts build_counter(NetlistBuilder& b, const CounterSpec& spec, NetId enable,
+                           NetId reset) {
+  if (spec.bits < 1 || spec.bits > 62)
+    throw std::invalid_argument("build_counter: bits out of range");
+  const std::uint64_t modulo =
+      spec.modulo == 0 ? (std::uint64_t{1} << spec.bits) : spec.modulo;
+  if (modulo < 2 || modulo > (std::uint64_t{1} << spec.bits))
+    throw std::invalid_argument("build_counter: modulo does not fit in bits");
+  if (spec.cascade_digit_bits < 0)
+    throw std::invalid_argument("build_counter: negative digit width");
+
+  auto& nl = b.netlist();
+  std::vector<NetId> q(static_cast<std::size_t>(spec.bits));
+  for (auto& n : q) n = nl.new_net();
+
+  CounterPorts ports;
+  ports.wrap = b.equals_const(q, modulo - 1);
+  const bool power_of_two = modulo == (std::uint64_t{1} << spec.bits);
+  // A non-power-of-two modulo forces every bit to 0 on the wrap cycle; all
+  // digits must clock on that cycle even when their lower digits are not
+  // all-ones, hence the wrap_force term OR-ed into every digit enable.
+  const NetId wrap_kill = power_of_two ? kConst1 : b.inv(ports.wrap);
+  const NetId wrap_force =
+      power_of_two ? netlist::kConst0 : b.and2(enable, ports.wrap);
+
+  const int digit =
+      spec.cascade_digit_bits == 0 ? spec.bits : spec.cascade_digit_bits;
+
+  // Enable of digit d = enable & local wraps of all lower digits (computed as
+  // one balanced tree per digit, so counter delay stays flat in total width);
+  // within a digit the usual increment carries apply. A monolithic counter is
+  // the single-digit special case.
+  std::vector<NetId> lower_wraps;  // all-ones detectors of lower digits
+  for (int lo = 0; lo < spec.bits; lo += digit) {
+    const int width = std::min(digit, spec.bits - lo);
+    const std::span<const NetId> dq(q.data() + lo, static_cast<std::size_t>(width));
+    NetId digit_enable = b.and2(enable, b.and_tree(lower_wraps));
+    if (wrap_force != netlist::kConst0) digit_enable = b.or2(wrap_force, digit_enable);
+    const auto carry = increment_carries(b, dq, spec.carry);
+    for (int k = 0; k < width; ++k) {
+      NetId d = b.xor2(dq[static_cast<std::size_t>(k)], carry[static_cast<std::size_t>(k)]);
+      d = b.and2(d, wrap_kill);
+      nl.add_cell(netlist::CellType::DffER, {d, digit_enable, reset},
+                  q[static_cast<std::size_t>(lo + k)]);
+    }
+    lower_wraps.push_back(b.and_tree(dq));
+  }
+  ports.q = std::move(q);
+  return ports;
+}
+
+}  // namespace addm::synth

@@ -1,0 +1,45 @@
+// Parameterized synchronous binary counter generator.
+//
+// Counts 0,1,...,modulo-1,0,... while `enable` is high; `reset` (synchronous,
+// dominant) returns it to 0. Two increment-carry styles are provided:
+//  * Ripple:    serial AND chain, delay linear in width (small, slow)
+//  * Lookahead: balanced AND trees per carry, delay logarithmic in width
+// The paper's CntAG counter corresponds to the lookahead style (its measured
+// counter delay is nearly flat across widths, Figure 9).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/builder.hpp"
+
+namespace addm::synth {
+
+enum class CarryStyle { Ripple, Lookahead };
+
+struct CounterSpec {
+  int bits = 0;                ///< state width; must be >= 1
+  std::uint64_t modulo = 0;    ///< wrap value; 0 means 2^bits (free running)
+  CarryStyle carry = CarryStyle::Lookahead;
+  /// When > 0, the counter is built as a cascade of digit counters of at most
+  /// this many bits each (digit j enabled by the wraps of all lower digits).
+  /// This is how wide sequence counters were actually built — per-stage carry
+  /// chains stay short, so the counter's delay is nearly flat in total width
+  /// (the paper's Figure-9 "counter" curve). 0 = monolithic.
+  int cascade_digit_bits = 0;
+};
+
+struct CounterPorts {
+  std::vector<netlist::NetId> q;      ///< state bits, LSB first
+  netlist::NetId wrap = netlist::kInvalidNet;  ///< 1 when q==modulo-1 (pre-edge)
+};
+
+/// Appends the counter to `b`. `enable` and `reset` are caller-provided nets
+/// (use netlist::kConst1 for an always-enabled counter).
+CounterPorts build_counter(netlist::NetlistBuilder& b, const CounterSpec& spec,
+                           netlist::NetId enable, netlist::NetId reset);
+
+/// Smallest width holding values 0..n-1; at least 1.
+int bits_for(std::uint64_t n);
+
+}  // namespace addm::synth

@@ -1,0 +1,68 @@
+#include "synth/decoder.hpp"
+
+#include <stdexcept>
+
+namespace addm::synth {
+
+using netlist::kConst1;
+using netlist::NetId;
+using netlist::NetlistBuilder;
+
+std::vector<NetId> build_decoder(NetlistBuilder& b, std::span<const NetId> addr,
+                                 std::size_t num_outputs, NetId enable,
+                                 DecoderStyle style) {
+  if (addr.empty()) throw std::invalid_argument("build_decoder: empty address");
+  if (addr.size() > 24) throw std::invalid_argument("build_decoder: address too wide");
+  const std::size_t space = std::size_t{1} << addr.size();
+  if (num_outputs == 0) num_outputs = space;
+  if (num_outputs > space)
+    throw std::invalid_argument("build_decoder: more outputs than address space");
+
+  // Pre-share the input inverters regardless of style.
+  std::vector<NetId> inv_addr(addr.size());
+  for (std::size_t k = 0; k < addr.size(); ++k) inv_addr[k] = b.inv(addr[k]);
+
+  const bool saved_sharing = b.sharing();
+  b.set_sharing(style != DecoderStyle::Flat);
+
+  std::vector<NetId> outs(num_outputs);
+  for (std::size_t i = 0; i < num_outputs; ++i) {
+    NetId out;
+    auto literal = [&](std::size_t k) { return (i >> k) & 1 ? addr[k] : inv_addr[k]; };
+    if (style == DecoderStyle::SharedChain) {
+      // Serial chain, LSB innermost, mapped DeMorgan-style as alternating
+      // NAND2/NOR2 levels (the netlist 2002-era synthesis produced from a
+      // behavioural decoder): v' = NAND(lit, v) at odd levels,
+      // v' = NOR(lit', v) at even levels, one cell per address bit.
+      // Right-associated suffixes are identical across outputs sharing
+      // low-order bits, so structural hashing shares them: shared-decoder
+      // area, depth linear in the address width. This linear depth is what
+      // makes the paper's decoder delay grow so steeply with array size
+      // (Figure 9).
+      out = literal(0);
+      bool inverted = false;
+      for (std::size_t k = 1; k < addr.size(); ++k) {
+        out = inverted ? b.nor2(b.inv(literal(k)), out) : b.nand2(literal(k), out);
+        inverted = !inverted;
+      }
+      if (enable != kConst1) {
+        out = inverted ? b.nor2(b.inv(enable), out) : b.nand2(enable, out);
+        inverted = !inverted;
+      }
+      if (inverted) out = b.inv(out);
+    } else {
+      // Balanced tree, MSB-first literal order for consistent bracketing so
+      // the shared style collapses common low-order suffixes (predecoding).
+      std::vector<NetId> lits;
+      lits.reserve(addr.size() + 1);
+      for (std::size_t k = addr.size(); k-- > 0;) lits.push_back(literal(k));
+      if (enable != kConst1) lits.push_back(enable);
+      out = b.and_tree(lits);
+    }
+    outs[i] = out;
+  }
+  b.set_sharing(saved_sharing);
+  return outs;
+}
+
+}  // namespace addm::synth

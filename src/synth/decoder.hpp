@@ -1,0 +1,35 @@
+// Binary-to-one-hot decoder generator (the row/column decoders of the
+// conventional RAM model, Figure 1 of the paper).
+//
+// Three construction styles spanning the synthesis-quality space:
+//  * SharedChain (default for the paper-profile CntAG): product terms built
+//    as serial AND chains with hash-consed suffixes. Area matches a shared
+//    decoder, but depth grows linearly with the address width — the shape
+//    2002-era behavioural synthesis produced, and the reason the paper's
+//    decoder delay balloons with array size (Figure 9).
+//  * SharedBalanced: hash-consed balanced trees; consistent bracketing makes
+//    common suffixes collapse into a predecoded structure (what a modern
+//    flow or a hand-designed RAM decoder does). Used by the ablation bench.
+//  * Flat: one private balanced tree per output (input inverters still
+//    shared) — sharing-free synthesis; maximal area.
+// bench_ablation_sharing quantifies the spread.
+#pragma once
+
+#include <vector>
+
+#include "netlist/builder.hpp"
+
+namespace addm::synth {
+
+enum class DecoderStyle { SharedChain, SharedBalanced, Flat };
+
+/// Builds a decoder over `addr` (LSB first). Returns `num_outputs` one-hot
+/// nets (output i asserted iff addr==i and enable). `num_outputs` may be less
+/// than 2^addr.size() for non-power-of-two arrays; pass 0 for the full 2^n.
+/// `enable` gates every output (use netlist::kConst1 for none).
+std::vector<netlist::NetId> build_decoder(netlist::NetlistBuilder& b,
+                                          std::span<const netlist::NetId> addr,
+                                          std::size_t num_outputs, netlist::NetId enable,
+                                          DecoderStyle style);
+
+}  // namespace addm::synth

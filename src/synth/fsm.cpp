@@ -1,0 +1,114 @@
+#include "synth/fsm.hpp"
+
+#include <stdexcept>
+
+#include "logic/isop.hpp"
+#include "logic/sop_map.hpp"
+#include "synth/counter.hpp"
+
+namespace addm::synth {
+
+using logic::Cover;
+using logic::TruthTable;
+using netlist::CellType;
+using netlist::NetId;
+using netlist::NetlistBuilder;
+
+std::uint32_t gray_code(std::uint32_t i) { return i ^ (i >> 1); }
+
+void FsmSpec::check() const {
+  if (next_state.empty()) throw std::invalid_argument("FsmSpec: no states");
+  if (select_of_state.size() != next_state.size())
+    throw std::invalid_argument("FsmSpec: select table size mismatch");
+  for (std::uint32_t s : next_state)
+    if (s >= num_states()) throw std::invalid_argument("FsmSpec: next state out of range");
+  for (std::uint32_t l : select_of_state)
+    if (l >= num_select_lines)
+      throw std::invalid_argument("FsmSpec: select line out of range");
+}
+
+namespace {
+
+FsmPorts build_one_hot(NetlistBuilder& b, const FsmSpec& spec, NetId enable, NetId reset) {
+  auto& nl = b.netlist();
+  const std::size_t n = spec.num_states();
+  std::vector<NetId> q(n);
+  for (auto& net : q) net = nl.new_net();
+
+  // D of state t = OR of predecessors.
+  std::vector<std::vector<NetId>> preds(n);
+  for (std::size_t s = 0; s < n; ++s) preds[spec.next_state[s]].push_back(q[s]);
+  for (std::size_t t = 0; t < n; ++t) {
+    const NetId d = b.or_tree(preds[t]);
+    const CellType ff = (t == 0) ? CellType::DffES : CellType::DffER;
+    nl.add_cell(ff, {d, enable, reset}, q[t]);
+  }
+
+  FsmPorts ports;
+  ports.state = q;
+  ports.select.resize(spec.num_select_lines);
+  std::vector<std::vector<NetId>> gather(spec.num_select_lines);
+  for (std::size_t s = 0; s < n; ++s) gather[spec.select_of_state[s]].push_back(q[s]);
+  for (std::size_t l = 0; l < spec.num_select_lines; ++l)
+    ports.select[l] = b.or_tree(gather[l]);
+  return ports;
+}
+
+FsmPorts build_encoded(NetlistBuilder& b, const FsmSpec& spec, NetId enable, NetId reset,
+                       const FsmStyle& style) {
+  auto& nl = b.netlist();
+  const std::size_t n = spec.num_states();
+  const int bits = bits_for(n);
+
+  auto code = [&](std::uint32_t s) {
+    return style.encoding == FsmEncoding::Gray ? gray_code(s) : s;
+  };
+
+  std::vector<NetId> q(static_cast<std::size_t>(bits));
+  for (auto& net : q) net = nl.new_net();
+
+  // Don't-care set: unused state codes.
+  TruthTable used(bits);
+  for (std::uint32_t s = 0; s < n; ++s) used.set(code(s), true);
+  const TruthTable dc = ~used;
+
+  const bool saved_sharing = b.sharing();
+  b.set_sharing(!style.flat_mapping);
+
+  // Next-state functions, one per state bit, over the current code.
+  for (int k = 0; k < bits; ++k) {
+    TruthTable onset(bits);
+    for (std::uint32_t s = 0; s < n; ++s)
+      if ((code(spec.next_state[s]) >> k) & 1) onset.set(code(s), true);
+    const Cover cov = logic::isop(onset, onset | dc);
+    const NetId d = logic::map_cover(b, cov, q);
+    nl.add_cell(CellType::DffER, {d, enable, reset}, q[static_cast<std::size_t>(k)]);
+  }
+
+  // Output (select line) functions.
+  FsmPorts ports;
+  ports.state = q;
+  ports.select.resize(spec.num_select_lines);
+  for (std::size_t l = 0; l < spec.num_select_lines; ++l) {
+    TruthTable onset(bits);
+    for (std::uint32_t s = 0; s < n; ++s)
+      if (spec.select_of_state[s] == l) onset.set(code(s), true);
+    const Cover cov = logic::isop(onset, onset | dc);
+    ports.select[l] = logic::map_cover(b, cov, q);
+  }
+  b.set_sharing(saved_sharing);
+  return ports;
+}
+
+}  // namespace
+
+FsmPorts build_fsm(NetlistBuilder& b, const FsmSpec& spec, NetId enable, NetId reset,
+                   const FsmStyle& style) {
+  spec.check();
+  // The reset state must carry code 0 so DffER/DffES resets reach it; both
+  // binary and gray give code(0) == 0, and one-hot sets flip-flop 0.
+  if (style.encoding == FsmEncoding::OneHot) return build_one_hot(b, spec, enable, reset);
+  return build_encoded(b, spec, enable, reset, style);
+}
+
+}  // namespace addm::synth

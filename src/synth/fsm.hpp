@@ -1,0 +1,55 @@
+// Symbolic FSM synthesis — the "general FSM address generator" of Section 3.
+//
+// The address generator for an ADDM with a deterministic access pattern is an
+// autonomous Moore machine: one state per sequence position, a single `next`
+// input advancing it, and one-hot select-line outputs. This generator
+// synthesizes such machines from a state table:
+//  * Binary/Gray encodings: next-state and output functions are minimized
+//    with ISOP (logic/isop.hpp) over the state code, unused codes used as
+//    don't-cares, then mapped onto gates (flat or shared style).
+//  * OneHot encoding: one flip-flop per state, OR-gathered outputs (the
+//    encoding SFM uses; the paper's two-hot SRAG beats it on area).
+// State 0 must be the reset state (all encodings give it code 0).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/builder.hpp"
+
+namespace addm::synth {
+
+struct FsmSpec {
+  /// next_state[s] = successor of state s; states are 0..num_states()-1.
+  std::vector<std::uint32_t> next_state;
+  /// select_of_state[s] = the single select line asserted in state s.
+  std::vector<std::uint32_t> select_of_state;
+  /// Total select lines (>= max(select_of_state)+1).
+  std::size_t num_select_lines = 0;
+
+  std::size_t num_states() const { return next_state.size(); }
+  /// Throws std::invalid_argument if the table is malformed.
+  void check() const;
+};
+
+enum class FsmEncoding { Binary, Gray, OneHot };
+
+struct FsmStyle {
+  FsmEncoding encoding = FsmEncoding::Binary;
+  bool flat_mapping = true;  ///< no structural sharing while mapping logic
+};
+
+struct FsmPorts {
+  std::vector<netlist::NetId> state;   ///< state register outputs
+  std::vector<netlist::NetId> select;  ///< one-hot select lines
+};
+
+/// Appends the machine to `b`. `enable` advances it; `reset` (synchronous,
+/// dominant) returns it to state 0.
+FsmPorts build_fsm(netlist::NetlistBuilder& b, const FsmSpec& spec, netlist::NetId enable,
+                   netlist::NetId reset, const FsmStyle& style);
+
+/// Gray code of i (used by the Gray encoding; exposed for tests).
+std::uint32_t gray_code(std::uint32_t i);
+
+}  // namespace addm::synth

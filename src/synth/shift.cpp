@@ -1,0 +1,26 @@
+#include "synth/shift.hpp"
+
+#include <stdexcept>
+
+namespace addm::synth {
+
+using netlist::CellType;
+using netlist::NetId;
+using netlist::NetlistBuilder;
+
+std::vector<NetId> build_token_ring(NetlistBuilder& b, std::size_t length, NetId enable,
+                                    NetId reset) {
+  if (length == 0) throw std::invalid_argument("build_token_ring: empty ring");
+  auto& nl = b.netlist();
+  std::vector<NetId> q(length);
+  for (auto& n : q) n = nl.new_net();
+  for (std::size_t i = 0; i < length; ++i) {
+    const NetId d = q[(i + length - 1) % length];
+    // Position 0 holds the token after reset; every other stage clears.
+    const CellType t = (i == 0) ? CellType::DffES : CellType::DffER;
+    nl.add_cell(t, {d, enable, reset}, q[i]);
+  }
+  return q;
+}
+
+}  // namespace addm::synth

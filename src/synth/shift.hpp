@@ -1,0 +1,20 @@
+// Token-ring / shift-register primitives.
+//
+// A token ring is the shift-register solution of Section 3 of the paper: N
+// flip-flops in a cycle carrying exactly one hot token that advances one
+// position per enabled clock. After reset the token sits at position 0.
+#pragma once
+
+#include <vector>
+
+#include "netlist/builder.hpp"
+
+namespace addm::synth {
+
+/// Builds a length-`length` token ring. Returns the flip-flop outputs
+/// (position i is hot when the token is at i). `enable` gates advancement;
+/// `reset` (synchronous) reloads the token at position 0.
+std::vector<netlist::NetId> build_token_ring(netlist::NetlistBuilder& b, std::size_t length,
+                                             netlist::NetId enable, netlist::NetId reset);
+
+}  // namespace addm::synth

@@ -1,0 +1,80 @@
+#include "tech/buffering.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace addm::tech {
+
+using netlist::CellType;
+using netlist::Netlist;
+using netlist::NetId;
+
+namespace {
+
+// One pin reading a net: either a cell input pin or a primary-output slot.
+struct Sink {
+  bool is_po;
+  std::size_t index;  // cell index or PO index
+  int pin;            // pin number for cells
+};
+
+void rewire(Netlist& nl, const Sink& s, NetId net) {
+  if (s.is_po)
+    nl.set_output_net(s.index, net);
+  else
+    nl.set_cell_input(s.index, s.pin, net);
+}
+
+}  // namespace
+
+BufferingStats insert_buffers(Netlist& nl, int max_fanout) {
+  if (max_fanout < 2) throw std::invalid_argument("insert_buffers: max_fanout < 2");
+  BufferingStats stats;
+
+  const std::size_t original_nets = nl.num_nets();
+  const std::size_t original_cells = nl.cells().size();
+
+  // Snapshot sinks per net before any rewiring.
+  std::vector<std::vector<Sink>> sinks(original_nets);
+  for (std::size_t ci = 0; ci < original_cells; ++ci) {
+    const auto& inputs = nl.cell(ci).inputs;
+    for (std::size_t pin = 0; pin < inputs.size(); ++pin)
+      sinks[inputs[pin]].push_back(Sink{false, ci, static_cast<int>(pin)});
+  }
+  for (std::size_t oi = 0; oi < nl.outputs().size(); ++oi)
+    sinks[nl.outputs()[oi]].push_back(Sink{true, oi, 0});
+
+  const auto group_size = static_cast<std::size_t>(max_fanout);
+  for (NetId net = 2; net < original_nets; ++net) {  // skip constant nets
+    if (sinks[net].size() <= group_size) continue;
+    ++stats.nets_repaired;
+
+    // Bottom-up tree construction. Each round groups the current sink list
+    // into chunks of `max_fanout`; every chunk is fed by a new BUF whose
+    // input pin joins the next round.
+    std::vector<Sink> level = std::move(sinks[net]);
+    int depth = 0;
+    while (level.size() > group_size) {
+      ++depth;
+      std::vector<Sink> next;
+      next.reserve((level.size() + group_size - 1) / group_size);
+      for (std::size_t start = 0; start < level.size(); start += group_size) {
+        const NetId buf_out = nl.new_net();
+        // Temporarily drive the buffer from the root; the final round may
+        // rewire its input to a higher-level buffer.
+        const std::size_t buf_cell = nl.add_cell(CellType::Buf, {net}, buf_out);
+        ++stats.buffers_added;
+        const std::size_t end = std::min(start + group_size, level.size());
+        for (std::size_t i = start; i < end; ++i) rewire(nl, level[i], buf_out);
+        next.push_back(Sink{false, buf_cell, 0});
+      }
+      level = std::move(next);
+    }
+    // `level` (<= max_fanout entries) stays connected to the root net.
+    for (const Sink& s : level) rewire(nl, s, net);
+    stats.max_tree_depth = std::max(stats.max_tree_depth, depth);
+  }
+  return stats;
+}
+
+}  // namespace addm::tech

@@ -1,0 +1,26 @@
+// Max-fanout buffer-tree insertion.
+//
+// High-fanout control nets (shift-register enables, counter bits feeding
+// decoders) dominate address-generator delay at large array sizes; a real
+// synthesis flow repairs them with buffer trees. This pass rewires every net
+// whose fanout exceeds `max_fanout` through a balanced tree of BUF cells so
+// that no net (original or inserted) drives more than `max_fanout` pins.
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace addm::tech {
+
+struct BufferingStats {
+  std::size_t nets_repaired = 0;
+  std::size_t buffers_added = 0;
+  int max_tree_depth = 0;  ///< deepest inserted buffer chain
+};
+
+/// Default fanout bound used by all experiments (typical of 0.18um flows).
+inline constexpr int kDefaultMaxFanout = 12;
+
+/// Inserts buffer trees in place. `max_fanout` must be >= 2.
+BufferingStats insert_buffers(netlist::Netlist& nl, int max_fanout = kDefaultMaxFanout);
+
+}  // namespace addm::tech

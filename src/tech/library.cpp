@@ -1,0 +1,37 @@
+#include "tech/library.hpp"
+
+namespace addm::tech {
+
+using netlist::CellType;
+
+Library Library::generic_180nm() {
+  // Calibration notes:
+  //  * Areas follow typical 0.18um standard-cell footprints (NAND2 ~= 10
+  //    units, DFF ~= 4.7x NAND2, enable/reset variants larger). With these
+  //    values a 256-stage token ring comes out near 12k cell units, matching
+  //    the magnitude of the paper's Figure 4.
+  //  * Intrinsic delays / slopes give gate stages of 50-120ps and flip-flop
+  //    clk-to-Q near 300ps, so address-generator critical paths land in the
+  //    0.5-3ns band the paper reports.
+  Library lib;
+  lib.params(CellType::Inv)   = {6.6, 0.030, 0.0080, 0.0, 0.0};
+  lib.params(CellType::Buf)   = {9.9, 0.055, 0.0045, 0.0, 0.0};
+  lib.params(CellType::Nand2) = {9.9, 0.045, 0.0110, 0.0, 0.0};
+  lib.params(CellType::Nor2)  = {9.9, 0.055, 0.0130, 0.0, 0.0};
+  lib.params(CellType::And2)  = {13.2, 0.072, 0.0095, 0.0, 0.0};
+  lib.params(CellType::Or2)   = {13.2, 0.080, 0.0095, 0.0, 0.0};
+  lib.params(CellType::Xor2)  = {23.1, 0.105, 0.0120, 0.0, 0.0};
+  lib.params(CellType::Xnor2) = {23.1, 0.105, 0.0120, 0.0, 0.0};
+  lib.params(CellType::Mux2)  = {23.1, 0.095, 0.0105, 0.0, 0.0};
+  lib.params(CellType::Dff)   = {46.2, 0.0, 0.0100, 0.28, 0.12};
+  lib.params(CellType::DffR)  = {52.8, 0.0, 0.0100, 0.30, 0.14};
+  lib.params(CellType::DffS)  = {52.8, 0.0, 0.0100, 0.30, 0.14};
+  lib.params(CellType::DffE)  = {59.4, 0.0, 0.0100, 0.31, 0.15};
+  lib.params(CellType::DffER) = {66.0, 0.0, 0.0100, 0.33, 0.16};
+  lib.params(CellType::DffES) = {66.0, 0.0, 0.0100, 0.33, 0.16};
+  lib.wire_delay_per_fanout = 0.0035;
+  lib.energy_per_area_toggle = 0.0021;  // pJ per cell-unit per output toggle
+  return lib;
+}
+
+}  // namespace addm::tech

@@ -1,0 +1,65 @@
+// Technology library: per-cell area and timing for a generic 0.18um-class
+// standard-cell process.
+//
+// The paper's numbers come from Synopsys Design Compiler on a 0.18um CMOS
+// library; we substitute a calibrated generic library (see DESIGN.md, section
+// 2). Areas are in "cell units" (um^2-like); delays in nanoseconds with a
+// linear fanout-load model:
+//
+//    stage delay = intrinsic + (slope + wire_delay_per_fanout) * fanout
+//
+// where `fanout` is the number of pins reading the driven net. Flip-flops
+// additionally have a clock-to-Q delay (launch) and a setup time (capture).
+#pragma once
+
+#include <array>
+
+#include "netlist/cell.hpp"
+
+namespace addm::tech {
+
+/// Timing/area data for one cell type.
+struct CellParams {
+  double area = 0.0;       ///< cell units (um^2-like)
+  double intrinsic = 0.0;  ///< ns, input-to-output for combinational cells
+  double slope = 0.0;      ///< ns per fanout load on the output
+  double clk_to_q = 0.0;   ///< ns, flip-flops only
+  double setup = 0.0;      ///< ns, flip-flops only (applies to D/EN/RST pins)
+};
+
+/// A complete library: one CellParams per CellType plus global constants.
+class Library {
+ public:
+  /// The default calibrated 0.18um-like library used by all experiments.
+  static Library generic_180nm();
+
+  const CellParams& params(netlist::CellType t) const {
+    return params_[static_cast<int>(t)];
+  }
+  CellParams& params(netlist::CellType t) { return params_[static_cast<int>(t)]; }
+
+  /// Extra per-fanout wire delay added to every stage (ns/load). Models the
+  /// estimated-wire-load tables a 2002 synthesis flow would use.
+  double wire_delay_per_fanout = 0.0;
+
+  /// Drive-strength derating (X1/X2/X4). Stronger variants are larger,
+  /// marginally slower unloaded, and far less load-sensitive.
+  static double drive_area_factor(int drive) {
+    return drive == 4 ? 2.1 : drive == 2 ? 1.4 : 1.0;
+  }
+  static double drive_slope_factor(int drive) {
+    return drive == 4 ? 0.30 : drive == 2 ? 0.55 : 1.0;
+  }
+  static double drive_intrinsic_factor(int drive) {
+    return drive == 4 ? 1.12 : drive == 2 ? 1.05 : 1.0;
+  }
+
+  /// Switching energy scale: pJ per (cell-unit of driver area) per toggle.
+  /// Used by the activity-based power estimate.
+  double energy_per_area_toggle = 0.0;
+
+ private:
+  std::array<CellParams, netlist::kNumCellTypes> params_{};
+};
+
+}  // namespace addm::tech

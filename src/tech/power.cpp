@@ -1,0 +1,42 @@
+#include "tech/power.hpp"
+
+#include <stdexcept>
+
+namespace addm::tech {
+
+using netlist::Netlist;
+using netlist::NetId;
+
+PowerReport estimate_power(const Netlist& nl, const Library& lib,
+                           std::span<const std::uint64_t> toggles, double sim_time_ns) {
+  if (toggles.size() < nl.num_nets())
+    throw std::invalid_argument("estimate_power: toggle vector too small");
+  if (sim_time_ns <= 0.0) throw std::invalid_argument("estimate_power: non-positive time");
+
+  constexpr double kLoadWeightAreaUnits = 2.0;  // effective area per fanout pin
+  const auto fanout = nl.fanout_counts();
+
+  PowerReport r;
+  for (const netlist::Cell& c : nl.cells()) {
+    const NetId out = c.output;
+    const std::uint64_t t = toggles[out];
+    if (t == 0) continue;
+    const double eff_area =
+        lib.params(c.type).area * Library::drive_area_factor(c.drive) +
+        kLoadWeightAreaUnits * static_cast<double>(fanout[out]);
+    r.total_energy_pj += lib.energy_per_area_toggle * eff_area * static_cast<double>(t);
+    r.total_toggles += t;
+  }
+  // Primary-input toggles charge the loads they drive (driver area ~ 0).
+  for (NetId n : nl.inputs()) {
+    const std::uint64_t t = toggles[n];
+    if (t == 0) continue;
+    r.total_energy_pj += lib.energy_per_area_toggle * kLoadWeightAreaUnits *
+                         static_cast<double>(fanout[n]) * static_cast<double>(t);
+    r.total_toggles += t;
+  }
+  r.avg_power_mw = r.total_energy_pj / sim_time_ns;
+  return r;
+}
+
+}  // namespace addm::tech

@@ -1,0 +1,32 @@
+// Activity-based dynamic power estimation (the paper lists power as future
+// work; we provide the study as an extension experiment).
+//
+// Energy model: each output toggle of a cell dissipates energy proportional
+// to the driving cell's area plus the capacitive load it switches:
+//
+//   E_toggle(net) = k * (area(driver) + load_weight * fanout(net))   [pJ]
+//
+// with k = Library::energy_per_area_toggle. Toggle counts come from the
+// cycle simulator. Power = total energy / simulated time.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "netlist/netlist.hpp"
+#include "tech/library.hpp"
+
+namespace addm::tech {
+
+struct PowerReport {
+  double total_energy_pj = 0.0;
+  double avg_power_mw = 0.0;  ///< pJ/ns == mW
+  std::uint64_t total_toggles = 0;
+};
+
+/// `toggles[net]` = number of value changes observed on that net;
+/// `sim_time_ns` = cycles simulated * clock period.
+PowerReport estimate_power(const netlist::Netlist& nl, const Library& lib,
+                           std::span<const std::uint64_t> toggles, double sim_time_ns);
+
+}  // namespace addm::tech

@@ -1,0 +1,58 @@
+#include "tech/sizing.hpp"
+
+#include "tech/sta.hpp"
+
+namespace addm::tech {
+
+using netlist::Netlist;
+using netlist::NetId;
+
+SizingStats size_gates(Netlist& nl, const Library& lib, const SizingOptions& opt) {
+  SizingStats stats;
+  stats.delay_before_ns = analyze_timing(nl, lib).critical_path_ns;
+
+  // Stage 1: load-based assignment.
+  const auto fanout = nl.fanout_counts();
+  for (std::size_t ci = 0; ci < nl.cells().size(); ++ci) {
+    const auto fo = static_cast<int>(fanout[nl.cell(ci).output]);
+    if (fo > opt.x4_fanout_threshold) {
+      nl.set_cell_drive(ci, 4);
+      ++stats.upsized_x4;
+    } else if (fo > opt.x2_fanout_threshold) {
+      nl.set_cell_drive(ci, 2);
+      ++stats.upsized_x2;
+    }
+  }
+
+  // Stage 2: critical-path repair.
+  double current = analyze_timing(nl, lib).critical_path_ns;
+  for (int round = 0; round < opt.max_repair_rounds; ++round) {
+    const TimingReport t = analyze_timing(nl, lib);
+    // Upsize every cell driving a net on the critical path by one step.
+    std::vector<std::size_t> touched;
+    for (NetId n : t.critical_nets) {
+      const auto drv = nl.driver_of(n);
+      if (!drv) continue;
+      const int d = nl.cell(*drv).drive;
+      if (d >= 4) continue;
+      nl.set_cell_drive(*drv, d == 1 ? 2 : 4);
+      touched.push_back(*drv);
+    }
+    if (touched.empty()) break;
+    const double after = analyze_timing(nl, lib).critical_path_ns;
+    if (current - after < opt.min_gain_ns) {
+      // No real gain: revert this round and stop.
+      for (std::size_t ci : touched) {
+        const int d = nl.cell(ci).drive;
+        nl.set_cell_drive(ci, d == 4 ? 2 : 1);
+      }
+      break;
+    }
+    current = after;
+    ++stats.repair_rounds;
+  }
+  stats.delay_after_ns = analyze_timing(nl, lib).critical_path_ns;
+  return stats;
+}
+
+}  // namespace addm::tech

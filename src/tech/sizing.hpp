@@ -1,0 +1,37 @@
+// Gate sizing: assigns X1/X2/X4 drive strengths.
+//
+// Two stages, mirroring a timing-driven synthesis flow:
+//  1. Load-based rule: cells driving more pins than the X1/X2 comfort
+//     thresholds are upsized so heavily loaded stages stop dominating.
+//  2. Critical-path repair: iteratively upsize the cells along the current
+//     critical path (one step each) while the critical path keeps improving.
+//
+// Sizing trades area for delay; bench_ablation_sizing quantifies the trade
+// on the paper's generators.
+#pragma once
+
+#include "netlist/netlist.hpp"
+#include "tech/library.hpp"
+
+namespace addm::tech {
+
+struct SizingOptions {
+  int x2_fanout_threshold = 5;  ///< fanout above this -> at least X2
+  int x4_fanout_threshold = 9;  ///< fanout above this -> X4
+  int max_repair_rounds = 8;    ///< critical-path upsizing iterations
+  double min_gain_ns = 1e-4;    ///< stop when a round improves less than this
+};
+
+struct SizingStats {
+  std::size_t upsized_x2 = 0;
+  std::size_t upsized_x4 = 0;
+  int repair_rounds = 0;
+  double delay_before_ns = 0.0;
+  double delay_after_ns = 0.0;
+};
+
+/// Sizes gates in place. The netlist must be loop-free (STA runs inside).
+SizingStats size_gates(netlist::Netlist& nl, const Library& lib,
+                       const SizingOptions& opt = {});
+
+}  // namespace addm::tech

@@ -1,0 +1,87 @@
+// Tests for the banked (distributed) ADDM extension: partitioning,
+// bank-select legality, corruption accounting, and interconnect estimates.
+#include <gtest/gtest.h>
+
+#include "memory/banked_addm.hpp"
+
+namespace addm::memory {
+namespace {
+
+std::vector<std::uint8_t> one_hot(std::size_t n, std::size_t hot) {
+  std::vector<std::uint8_t> v(n, 0);
+  v[hot] = 1;
+  return v;
+}
+
+TEST(BankedAddm, PartitioningByColumnRange) {
+  BankedAddm m({8, 4}, 2);  // two 4-wide banks
+  EXPECT_EQ(m.num_banks(), 2u);
+  EXPECT_EQ(m.bank_geometry(), (seq::ArrayGeometry{4, 4}));
+  EXPECT_EQ(m.bank_of(0), 0u);
+  EXPECT_EQ(m.bank_of(5), 1u);   // row 0, col 5
+  EXPECT_EQ(m.local_col(5), 1u);
+  EXPECT_EQ(m.bank_of(11), 0u);  // row 1, col 3
+}
+
+TEST(BankedAddm, ReadWriteThroughBankSelect) {
+  BankedAddm m({8, 4}, 2);
+  // Write (row 2, col 6): bank 1, local col 2.
+  m.write(one_hot(2, 1), one_hot(4, 2), one_hot(4, 2), 99);
+  EXPECT_EQ(m.cell(2, 6), 99u);
+  EXPECT_EQ(m.read(one_hot(2, 1), one_hot(4, 2), one_hot(4, 2)), 99u);
+  // The twin cell in bank 0 is untouched.
+  EXPECT_EQ(m.cell(2, 2), 0u);
+  EXPECT_EQ(m.violation_count(), 0u);
+}
+
+TEST(BankedAddm, BankSelectViolationsDetected) {
+  BankedAddm m({8, 4}, 2);
+  std::vector<std::uint8_t> both(2, 1);
+  m.write(both, one_hot(4, 0), one_hot(4, 0), 7);
+  EXPECT_EQ(m.violation_count(), 1u);
+  std::vector<std::uint8_t> none(2, 0);
+  (void)m.read(none, one_hot(4, 0), one_hot(4, 0));
+  EXPECT_EQ(m.violation_count(), 2u);
+}
+
+TEST(BankedAddm, InnerTwoHotViolationsPropagate) {
+  BankedAddm m({8, 4}, 2);
+  std::vector<std::uint8_t> two_rows(4, 0);
+  two_rows[0] = two_rows[2] = 1;
+  m.write(one_hot(2, 0), two_rows, one_hot(4, 1), 5);
+  EXPECT_EQ(m.violation_count(), 1u);
+  EXPECT_EQ(m.cell(0, 1), 5u);
+  EXPECT_EQ(m.cell(2, 1), 5u);  // corrupted, as the flat model does
+}
+
+TEST(BankedAddm, RejectsBadConfiguration) {
+  EXPECT_THROW(BankedAddm({8, 4}, 0), std::invalid_argument);
+  EXPECT_THROW(BankedAddm({8, 4}, 3), std::invalid_argument);  // 3 does not divide 8
+  BankedAddm m({8, 4}, 2);
+  EXPECT_THROW(m.write(one_hot(3, 0), one_hot(4, 0), one_hot(4, 0), 1),
+               std::invalid_argument);
+}
+
+TEST(BankedAddm, InterconnectMaxLineShrinksWithBanking) {
+  const seq::ArrayGeometry g{64, 64};
+  const auto mono = BankedAddm::monolithic_cost(g);
+  const auto banked4 = BankedAddm(g, 4).interconnect_cost();
+  const auto banked8 = BankedAddm(g, 8).interconnect_cost();
+  // Total wire length is conserved; the worst single line shrinks.
+  EXPECT_DOUBLE_EQ(mono.wire_length_units, banked4.wire_length_units);
+  EXPECT_GT(banked4.select_wires, mono.select_wires);  // replicated RS bundles
+  EXPECT_LE(banked4.max_line_length_units, mono.max_line_length_units);
+  EXPECT_LE(banked8.max_line_length_units, banked4.max_line_length_units);
+}
+
+TEST(BankedAddm, SingleBankMatchesMonolithic) {
+  const seq::ArrayGeometry g{16, 16};
+  BankedAddm m(g, 1);
+  const auto c = m.interconnect_cost();
+  const auto mono = BankedAddm::monolithic_cost(g);
+  EXPECT_EQ(c.select_wires, mono.select_wires);
+  EXPECT_DOUBLE_EQ(c.max_line_length_units, mono.max_line_length_units);
+}
+
+}  // namespace
+}  // namespace addm::memory

@@ -1,0 +1,142 @@
+// Tests for the SRAdGen emitters: structural Verilog/VHDL shape checks,
+// determinism, identifier sanitization and the behavioral SRAG VHDL.
+#include <gtest/gtest.h>
+
+#include "codegen/verilog.hpp"
+#include "codegen/vhdl.hpp"
+#include "core/srag_elab.hpp"
+#include "core/srag_mapper.hpp"
+#include "netlist/builder.hpp"
+
+namespace addm::codegen {
+namespace {
+
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::NetlistBuilder;
+
+Netlist small_design() {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId a = b.input("a");
+  const NetId c = b.input("c");
+  const NetId rst = b.input("rst");
+  const NetId x = b.xor2(a, c);
+  const NetId q = b.dff_r(x, rst);
+  b.output("y[0]", b.mux2(a, x, q));
+  b.output("y[1]", b.nand2(q, c));
+  return nl;
+}
+
+core::SragConfig figure5_config() {
+  core::SragConfig cfg;
+  cfg.registers = {{5, 1, 4, 0}, {3, 7, 6, 2}};
+  cfg.div_count = 2;
+  cfg.pass_count = 8;
+  cfg.num_select_lines = 8;
+  return cfg;
+}
+
+TEST(Sanitize, FlattensBusIndices) {
+  EXPECT_EQ(sanitize_identifier("sel[3]"), "sel_3");
+  EXPECT_EQ(sanitize_identifier("plain"), "plain");
+  EXPECT_EQ(sanitize_identifier("a[0][1]"), "a_0_1");
+}
+
+TEST(Verilog, ModuleShape) {
+  const std::string v = to_verilog(small_design(), "small");
+  EXPECT_NE(v.find("module small"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  EXPECT_NE(v.find("input wire clk"), std::string::npos);
+  EXPECT_NE(v.find("input wire a"), std::string::npos);
+  EXPECT_NE(v.find("output wire y_0"), std::string::npos);
+  EXPECT_NE(v.find("output wire y_1"), std::string::npos);
+  EXPECT_NE(v.find("always @(posedge clk)"), std::string::npos);
+  EXPECT_NE(v.find("?"), std::string::npos);   // the mux
+  EXPECT_EQ(v.find("y[0]"), std::string::npos);  // no raw bus names leak
+}
+
+TEST(Verilog, Deterministic) {
+  EXPECT_EQ(to_verilog(small_design(), "m"), to_verilog(small_design(), "m"));
+}
+
+TEST(Verilog, EmitsAllDffVariants) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId d = b.input("d");
+  const NetId e = b.input("e");
+  const NetId r = b.input("r");
+  b.output("q0", b.dff(d));
+  b.output("q1", b.dff_r(d, r));
+  b.output("q2", b.dff_s(d, r));
+  b.output("q3", b.dff_e(d, e));
+  b.output("q4", b.dff_er(d, e, r));
+  b.output("q5", b.dff_es(d, e, r));
+  const std::string v = to_verilog(nl, "ffs");
+  EXPECT_NE(v.find("<= 1'b0"), std::string::npos);
+  EXPECT_NE(v.find("<= 1'b1"), std::string::npos);
+  // Six always blocks, one per flop.
+  std::size_t count = 0;
+  for (std::size_t pos = v.find("always @"); pos != std::string::npos;
+       pos = v.find("always @", pos + 1))
+    ++count;
+  EXPECT_EQ(count, 6u);
+}
+
+TEST(Vhdl, EntityShape) {
+  const std::string v = to_structural_vhdl(small_design(), "small");
+  EXPECT_NE(v.find("entity small is"), std::string::npos);
+  EXPECT_NE(v.find("architecture rtl of small"), std::string::npos);
+  EXPECT_NE(v.find("clk : in std_logic"), std::string::npos);
+  EXPECT_NE(v.find("y_0 : out std_logic"), std::string::npos);
+  EXPECT_NE(v.find("rising_edge(clk)"), std::string::npos);
+  EXPECT_NE(v.find("end architecture rtl;"), std::string::npos);
+}
+
+TEST(Vhdl, Deterministic) {
+  EXPECT_EQ(to_structural_vhdl(small_design(), "m"),
+            to_structural_vhdl(small_design(), "m"));
+}
+
+TEST(Vhdl, StructuralFromElaboratedSrag) {
+  const auto nl = core::elaborate_srag(figure5_config());
+  const std::string v = to_structural_vhdl(nl, "srag");
+  EXPECT_NE(v.find("entity srag is"), std::string::npos);
+  EXPECT_NE(v.find("next_i : in std_logic"), std::string::npos);
+  EXPECT_NE(v.find("sel_7 : out std_logic"), std::string::npos);
+}
+
+TEST(BehavioralVhdl, ContainsArchitectureParameters) {
+  const std::string v = srag_to_behavioral_vhdl(figure5_config(), "srag_fig5");
+  EXPECT_NE(v.find("entity srag_fig5 is"), std::string::npos);
+  // Both shift registers declared with their lengths.
+  EXPECT_NE(v.find("signal s0 : std_logic_vector(3 downto 0)"), std::string::npos);
+  EXPECT_NE(v.find("signal s1 : std_logic_vector(3 downto 0)"), std::string::npos);
+  // DivCnt compares against dC-1, PassCnt against pC-1.
+  EXPECT_NE(v.find("div_cnt = 1"), std::string::npos);
+  EXPECT_NE(v.find("pass_cnt = 7"), std::string::npos);
+  // Token seed after reset.
+  EXPECT_NE(v.find("s0(0) <= '1';"), std::string::npos);
+  // Select mapping: line 5 is flip-flop (0,0), line 2 is (1,3).
+  EXPECT_NE(v.find("sel(5) <= s0(0);"), std::string::npos);
+  EXPECT_NE(v.find("sel(2) <= s1(3);"), std::string::npos);
+  EXPECT_NE(v.find("-- registers=2 flipflops=8 dC=2 pC=8"), std::string::npos);
+}
+
+TEST(BehavioralVhdl, MappedWorkloadEmits) {
+  // End-to-end SRAdGen flow: sequence -> mapping -> VHDL.
+  const std::vector<std::uint32_t> I{0, 0, 1, 1, 0, 0, 1, 1, 2, 2, 3, 3, 2, 2, 3, 3};
+  const auto r = core::map_sequence(I, 4);
+  ASSERT_TRUE(r.ok());
+  const std::string v = srag_to_behavioral_vhdl(*r.config, "rowgen");
+  EXPECT_NE(v.find("entity rowgen is"), std::string::npos);
+  EXPECT_NE(v.find("sel   : out std_logic_vector(3 downto 0)"), std::string::npos);
+}
+
+TEST(BehavioralVhdl, RejectsInvalidConfig) {
+  core::SragConfig bad;
+  EXPECT_THROW(srag_to_behavioral_vhdl(bad, "x"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace addm::codegen

@@ -1,0 +1,139 @@
+// Tests for the design-space explorer: feasibility classification, metric
+// sanity, the FSM state-budget cutoff and the Pareto front.
+#include <gtest/gtest.h>
+
+#include "core/explorer.hpp"
+#include "seq/workloads.hpp"
+
+namespace addm::core {
+namespace {
+
+const DesignPoint* find(const std::vector<DesignPoint>& ps, const std::string& arch) {
+  for (const auto& p : ps)
+    if (p.architecture == arch) return &p;
+  return nullptr;
+}
+
+TEST(Explorer, FifoTraceAllArchitecturesFeasible) {
+  const auto points = explore_generators(seq::incremental({8, 8}));
+  for (const char* arch : {"SRAG", "SRAG-multicounter", "CntAG-flat", "CntAG-shared",
+                           "FSM-binary", "FSM-gray", "FSM-onehot", "SFM"}) {
+    const auto* p = find(points, arch);
+    ASSERT_NE(p, nullptr) << arch;
+    EXPECT_TRUE(p->feasible) << arch << ": " << p->note;
+    EXPECT_GT(p->metrics.area_units, 0.0) << arch;
+    EXPECT_GT(p->metrics.delay_ns, 0.0) << arch;
+  }
+}
+
+TEST(Explorer, BlockTraceSfmInfeasible) {
+  seq::MotionEstimationParams p;
+  p.img_width = p.img_height = 8;
+  p.mb_width = p.mb_height = 4;
+  p.m = 0;
+  const auto points = explore_generators(seq::motion_estimation_read(p));
+  const auto* sfm = find(points, "SFM");
+  ASSERT_NE(sfm, nullptr);
+  EXPECT_FALSE(sfm->feasible);
+  EXPECT_NE(sfm->note.find("FIFO"), std::string::npos);
+  const auto* srag = find(points, "SRAG");
+  ASSERT_NE(srag, nullptr);
+  EXPECT_TRUE(srag->feasible) << srag->note;
+}
+
+TEST(Explorer, StridedTraceSragInfeasibleButCntAgWorks) {
+  const auto points = explore_generators(seq::strided({8, 8}, 3));
+  const auto* srag = find(points, "SRAG");
+  ASSERT_NE(srag, nullptr);
+  EXPECT_FALSE(srag->feasible);
+  const auto* cnt = find(points, "CntAG-flat");
+  ASSERT_NE(cnt, nullptr);
+  EXPECT_TRUE(cnt->feasible);
+}
+
+TEST(Explorer, ZigzagFallsBackToCntAg) {
+  // The zigzag scan's diagonal structure defeats both SRAG mappers; the
+  // counter-based generator (synthesized transform) must still be feasible.
+  const auto points = explore_generators(seq::zigzag({8, 8}));
+  const auto* srag = find(points, "SRAG");
+  const auto* multi = find(points, "SRAG-multicounter");
+  const auto* cnt = find(points, "CntAG-flat");
+  ASSERT_TRUE(srag && multi && cnt);
+  EXPECT_FALSE(srag->feasible);
+  EXPECT_FALSE(multi->feasible);
+  EXPECT_TRUE(cnt->feasible);
+}
+
+TEST(Explorer, FsmBudgetCutoff) {
+  ExploreOptions opt;
+  opt.max_fsm_states = 16;
+  const auto points = explore_generators(seq::incremental({8, 8}), opt);  // 64 states
+  const auto* fsm = find(points, "FSM-binary");
+  ASSERT_NE(fsm, nullptr);
+  EXPECT_FALSE(fsm->feasible);
+  EXPECT_NE(fsm->note.find("impractical"), std::string::npos);
+}
+
+TEST(Explorer, FsmCanBeDisabled) {
+  ExploreOptions opt;
+  opt.include_fsm = false;
+  const auto points = explore_generators(seq::incremental({4, 4}), opt);
+  EXPECT_EQ(find(points, "FSM-binary"), nullptr);
+}
+
+TEST(Explorer, ParetoFrontNonEmptyAndNonDominated) {
+  const auto points = explore_generators(seq::incremental({8, 8}));
+  const auto front = pareto_front(points);
+  ASSERT_FALSE(front.empty());
+  for (std::size_t i : front) {
+    EXPECT_TRUE(points[i].feasible);
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (!points[j].feasible || i == j) continue;
+      const bool strictly_dominates =
+          points[j].metrics.area_units <= points[i].metrics.area_units &&
+          points[j].metrics.delay_ns <= points[i].metrics.delay_ns &&
+          (points[j].metrics.area_units < points[i].metrics.area_units ||
+           points[j].metrics.delay_ns < points[i].metrics.delay_ns);
+      EXPECT_FALSE(strictly_dominates) << i << " dominated by " << j;
+    }
+  }
+}
+
+TEST(Explorer, ParetoIgnoresInfeasible) {
+  std::vector<DesignPoint> ps(2);
+  ps[0].architecture = "a";
+  ps[0].feasible = false;
+  ps[1].architecture = "b";
+  ps[1].feasible = true;
+  ps[1].metrics.area_units = 10;
+  ps[1].metrics.delay_ns = 1;
+  const auto front = pareto_front(ps);
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_EQ(front[0], 1u);
+}
+
+TEST(Explorer, FormatContainsEveryArchitecture) {
+  const auto points = explore_generators(seq::incremental({4, 4}));
+  const std::string table = format_exploration(points);
+  for (const auto& p : points)
+    EXPECT_NE(table.find(p.architecture), std::string::npos) << p.architecture;
+  EXPECT_NE(table.find("pareto"), std::string::npos);
+}
+
+TEST(Explorer, SragBeatsCntAgOnDelayForBlockAccess) {
+  // The paper's headline claim, asserted as a structural property at 16x16.
+  seq::MotionEstimationParams p;
+  p.img_width = p.img_height = 16;
+  p.mb_width = p.mb_height = 8;
+  p.m = 0;
+  const auto points = explore_generators(seq::motion_estimation_read(p));
+  const auto* srag = find(points, "SRAG");
+  const auto* cnt = find(points, "CntAG-flat");
+  ASSERT_TRUE(srag && cnt);
+  ASSERT_TRUE(srag->feasible && cnt->feasible);
+  EXPECT_LT(srag->metrics.delay_ns, cnt->metrics.delay_ns);
+  EXPECT_GT(srag->metrics.area_units, cnt->metrics.area_units);
+}
+
+}  // namespace
+}  // namespace addm::core

@@ -1,0 +1,110 @@
+// Tests for the affine loop-nest front end: trip counts, odometer
+// enumeration, bounds checking, and cross-checks against the hand-written
+// workload generators.
+#include <gtest/gtest.h>
+
+#include "seq/loopnest.hpp"
+#include "seq/workloads.hpp"
+
+namespace addm::seq {
+namespace {
+
+TEST(Loop, TripCounts) {
+  EXPECT_EQ((Loop{"i", 0, 4, 1}).trip_count(), 4u);
+  EXPECT_EQ((Loop{"i", 0, 5, 2}).trip_count(), 3u);
+  EXPECT_EQ((Loop{"i", -2, 2, 1}).trip_count(), 4u);
+  EXPECT_EQ((Loop{"i", 3, -1, -1}).trip_count(), 4u);
+  EXPECT_THROW((Loop{"i", 0, 0, 1}).trip_count(), std::invalid_argument);
+  EXPECT_THROW((Loop{"i", 0, 4, 0}).trip_count(), std::invalid_argument);
+  EXPECT_THROW((Loop{"i", 0, 4, -1}).trip_count(), std::invalid_argument);
+}
+
+TEST(LoopNest, RasterEnumeration) {
+  LoopNest nest;
+  nest.add("r", 0, 2).add("c", 0, 3);
+  EXPECT_EQ(nest.iterations(), 6u);
+  AffineAccess acc;
+  acc.row_coeffs = {1, 0};
+  acc.col_coeffs = {0, 1};
+  const auto t = nest.trace(acc, {3, 2});
+  EXPECT_EQ(t.linear(), (std::vector<std::uint32_t>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(LoopNest, StridedAndOffsetAccess) {
+  LoopNest nest;
+  nest.add("i", 0, 3);
+  AffineAccess acc;
+  acc.row_coeffs = {1};
+  acc.col_coeffs = {0};
+  acc.col_offset = 2;
+  const auto t = nest.trace(acc, {4, 4});
+  EXPECT_EQ(t.linear(), (std::vector<std::uint32_t>{2, 6, 10}));
+}
+
+TEST(LoopNest, NegativeStepLoop) {
+  LoopNest nest;
+  nest.add("i", 3, -1, -1);
+  AffineAccess acc;
+  acc.row_coeffs = {0};
+  acc.col_coeffs = {1};
+  const auto t = nest.trace(acc, {4, 1});
+  EXPECT_EQ(t.linear(), (std::vector<std::uint32_t>{3, 2, 1, 0}));
+}
+
+TEST(LoopNest, OutOfRangeAccessRejected) {
+  LoopNest nest;
+  nest.add("i", 0, 5);
+  AffineAccess acc;
+  acc.row_coeffs = {0};
+  acc.col_coeffs = {1};
+  EXPECT_THROW(nest.trace(acc, {4, 1}), std::invalid_argument);  // i=4 -> col 4
+}
+
+TEST(LoopNest, NegativeAddressRejected) {
+  LoopNest nest;
+  nest.add("i", 0, 3);
+  AffineAccess acc;
+  acc.row_coeffs = {0};
+  acc.col_coeffs = {1};
+  acc.col_offset = -1;
+  EXPECT_THROW(nest.trace(acc, {4, 1}), std::invalid_argument);
+}
+
+TEST(LoopNest, EmptyNestRejected) {
+  LoopNest nest;
+  EXPECT_THROW(nest.trace(AffineAccess{}, {2, 2}), std::invalid_argument);
+}
+
+TEST(LoopNestProgram, MotionEstimationMatchesGenerator) {
+  for (int m : {0, 1, 2}) {
+    MotionEstimationParams p;
+    p.img_width = p.img_height = 8;
+    p.mb_width = p.mb_height = 4;
+    p.m = m;
+    const auto prog = motion_estimation_program(p);
+    const auto from_nest = prog.nest.trace(prog.access, prog.geometry);
+    const auto from_generator = motion_estimation_read(p);
+    EXPECT_EQ(from_nest.linear(), from_generator.linear()) << "m=" << m;
+  }
+}
+
+TEST(LoopNestProgram, RasterMatchesIncremental) {
+  const ArrayGeometry g{8, 4};
+  const auto prog = raster_program(g);
+  EXPECT_EQ(prog.nest.trace(prog.access, prog.geometry).linear(),
+            incremental(g).linear());
+}
+
+TEST(LoopNestProgram, DctMatchesGenerator) {
+  const ArrayGeometry g{16, 16};
+  const auto prog = dct_block_column_program(g, 8);
+  EXPECT_EQ(prog.nest.trace(prog.access, prog.geometry).linear(),
+            dct_block_column_read(g, 8).linear());
+}
+
+TEST(LoopNestProgram, DctValidatesBlock) {
+  EXPECT_THROW(dct_block_column_program({10, 10}, 8), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace addm::seq

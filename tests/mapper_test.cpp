@@ -1,0 +1,243 @@
+// Tests for the Section-5 mapping procedure: the paper's Table-2 example and
+// its restriction counter-examples verbatim, plus replay-equivalence
+// property sweeps over every mappable workload.
+#include <gtest/gtest.h>
+
+#include "core/srag_mapper.hpp"
+#include "core/srag_model.hpp"
+#include "seq/workloads.hpp"
+
+namespace addm::core {
+namespace {
+
+using V = std::vector<std::uint32_t>;
+
+TEST(Mapper, PaperTable2RowSequence) {
+  // RowAS of Table 1 (the data shown in the paper's Table 2).
+  const V I{0, 0, 1, 1, 0, 0, 1, 1, 2, 2, 3, 3, 2, 2, 3, 3};
+  const MapResult r = map_sequence(I, 4);
+  ASSERT_TRUE(r.ok()) << r.detail;
+  EXPECT_EQ(r.params.D, (V{2, 2, 2, 2, 2, 2, 2, 2}));
+  EXPECT_EQ(r.params.R, (V{0, 1, 0, 1, 2, 3, 2, 3}));
+  EXPECT_EQ(r.params.U, (V{0, 1, 2, 3}));
+  EXPECT_EQ(r.params.O, (V{2, 2, 2, 2}));
+  EXPECT_EQ(r.params.Z, (V{0, 1, 4, 5}));
+  ASSERT_EQ(r.params.S.size(), 2u);
+  EXPECT_EQ(r.params.S[0], (V{0, 1}));
+  EXPECT_EQ(r.params.S[1], (V{2, 3}));
+  EXPECT_EQ(r.params.P, (V{4, 4}));
+  EXPECT_EQ(r.params.dC, 2u);
+  EXPECT_EQ(r.params.pC, 4u);
+}
+
+TEST(Mapper, PaperSection4DivCntExample) {
+  // "the SRAG shown in Figure 5, with dC = 2 ... gives the address sequence
+  //  5,5,1,1,4,4,0,0,3,3,7,7,6,6,2,2"
+  const V I{5, 5, 1, 1, 4, 4, 0, 0, 3, 3, 7, 7, 6, 6, 2, 2};
+  const MapResult r = map_sequence(I, 8);
+  ASSERT_TRUE(r.ok()) << r.detail;
+  EXPECT_EQ(r.params.dC, 2u);
+  // The paper's Figure 5 realizes this with two registers, but its own
+  // grouping rule (equal occurrence counts, consecutive first appearances)
+  // merges all eight addresses into one ring — an equivalent, cheaper layout.
+  ASSERT_EQ(r.config->registers.size(), 1u);
+  EXPECT_EQ(r.config->registers[0], (V{5, 1, 4, 0, 3, 7, 6, 2}));
+  SragModel model(*r.config);
+  EXPECT_EQ(model.generate(I.size()), I);
+}
+
+TEST(Mapper, PaperSection4DivCntViolation) {
+  // "In contrast, the sequence 5,5,5,1,1,4,4,0,0,3,3,7,7,6,6,2,2 ... violates
+  //  the DivCnt restriction."
+  const V I{5, 5, 5, 1, 1, 4, 4, 0, 0, 3, 3, 7, 7, 6, 6, 2, 2};
+  const MapResult r = map_sequence(I, 8);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.failure, MapFailure::NonUniformDivCount);
+}
+
+TEST(Mapper, PaperSection4PassCntExample) {
+  // "with pC = 8 and dC = 1 gives the sequence 5,1,4,0,5,1,4,0,3,7,6,2,3,7,6,2"
+  const V I{5, 1, 4, 0, 5, 1, 4, 0, 3, 7, 6, 2, 3, 7, 6, 2};
+  const MapResult r = map_sequence(I, 8);
+  ASSERT_TRUE(r.ok()) << r.detail;
+  EXPECT_EQ(r.params.dC, 1u);
+  EXPECT_EQ(r.params.pC, 8u);
+  ASSERT_EQ(r.config->registers.size(), 2u);
+  EXPECT_EQ(r.config->registers[0], (V{5, 1, 4, 0}));
+  EXPECT_EQ(r.config->registers[1], (V{3, 7, 6, 2}));
+}
+
+TEST(Mapper, PaperSection4PassCntViolation) {
+  // "the sequence 5,1,4,0,5,1,4,0,5,1,4,0,3,7,6,2,3,7,6,2 has a pC of 12 for
+  //  S0 and 8 for S1 and therefore would violate the PassCnt restriction."
+  const V I{5, 1, 4, 0, 5, 1, 4, 0, 5, 1, 4, 0, 3, 7, 6, 2, 3, 7, 6, 2};
+  const MapResult r = map_sequence(I, 8);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.failure, MapFailure::NonUniformPassCount);
+  EXPECT_EQ(r.params.P, (V{12, 8}));
+}
+
+TEST(Mapper, PaperSection5GroupingFailure) {
+  // "Initial grouping may fail for certain address sequences such as
+  //  1,2,3,4,3,2,1,4" — caught by the verification step.
+  const V I{1, 2, 3, 4, 3, 2, 1, 4};
+  const MapResult r = map_sequence(I, 5);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.failure, MapFailure::GroupingFailed);
+  EXPECT_FALSE(r.detail.empty());
+}
+
+TEST(Mapper, EmptySequence) {
+  const MapResult r = map_sequence(V{});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.failure, MapFailure::EmptySequence);
+}
+
+TEST(Mapper, SingleAddress) {
+  const MapResult r = map_sequence(V{3});
+  ASSERT_TRUE(r.ok()) << r.detail;
+  EXPECT_EQ(r.config->registers.size(), 1u);
+  EXPECT_EQ(r.config->div_count, 1u);
+  SragModel m(*r.config);
+  EXPECT_EQ(m.current(), 3u);
+}
+
+TEST(Mapper, ConstantSequence) {
+  const MapResult r = map_sequence(V{7, 7, 7, 7});
+  ASSERT_TRUE(r.ok()) << r.detail;
+  // A single address repeated: one 1-flop register; either a dC of 4 or a
+  // period reduction is acceptable as long as replay matches.
+  SragModel m(*r.config);
+  EXPECT_EQ(m.generate(4), (V{7, 7, 7, 7}));
+}
+
+TEST(Mapper, IncrementalBecomesSingleRing) {
+  V I(64);
+  for (std::uint32_t i = 0; i < 64; ++i) I[i] = i;
+  const MapResult r = map_sequence(I);
+  ASSERT_TRUE(r.ok()) << r.detail;
+  EXPECT_EQ(r.config->num_registers(), 1u);
+  EXPECT_EQ(r.config->num_flipflops(), 64u);
+  EXPECT_EQ(r.config->div_count, 1u);
+}
+
+TEST(Mapper, SelectLineCountDefaultsToMaxPlusOne) {
+  const MapResult r = map_sequence(V{0, 9, 0, 9});
+  ASSERT_TRUE(r.ok()) << r.detail;
+  EXPECT_EQ(r.config->num_select_lines, 10u);
+}
+
+TEST(Mapper, MultiPeriodInputReducesToOnePeriod) {
+  // Two periods of the Table-1 ColAS; pC must come from one period (4), not
+  // from total occurrence counts (8).
+  const V I{0, 1, 0, 1, 2, 3, 2, 3, 0, 1, 0, 1, 2, 3, 2, 3};
+  const MapResult r = map_sequence(I, 4);
+  ASSERT_TRUE(r.ok()) << r.detail;
+  EXPECT_EQ(r.params.pC, 4u);
+  SragModel m(*r.config);
+  EXPECT_EQ(m.generate(I.size()), I);
+}
+
+TEST(Mapper, NonContiguousReuseRejected) {
+  // 0 reappears with different neighbours; the single-PassCnt SRAG cannot
+  // express it. Any failure kind is fine, but it must not map.
+  const V I{0, 1, 0, 2};
+  EXPECT_FALSE(map_sequence(I).ok());
+}
+
+// --- replay-equivalence property sweep over workloads -----------------------
+
+struct WorkloadCase {
+  const char* name;
+  seq::AddressTrace trace;
+};
+
+std::vector<WorkloadCase> mappable_workloads() {
+  using namespace seq;
+  std::vector<WorkloadCase> cases;
+  for (std::size_t dim : {8u, 16u, 32u}) {
+    const ArrayGeometry g{dim, dim};
+    MotionEstimationParams p;
+    p.img_width = p.img_height = dim;
+    p.mb_width = p.mb_height = 4;
+    p.m = 0;
+    cases.push_back({"motion_est", motion_estimation_read(p)});
+    p.m = 1;
+    cases.push_back({"motion_est_m1", motion_estimation_read(p)});
+    cases.push_back({"incremental", incremental(g)});
+    cases.push_back({"dct", dct_block_column_read(g, 4)});
+    cases.push_back({"zoom", zoom_by_two_read(g)});
+    cases.push_back({"transpose", transpose_read(g)});
+    cases.push_back({"block_raster", block_raster(g, 4, 4)});
+  }
+  return cases;
+}
+
+class MapperWorkloadTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MapperWorkloadTest, BothDimensionsMapAndReplay) {
+  const auto cases = mappable_workloads();
+  const auto& wc = cases[GetParam()];
+  const auto rows = wc.trace.rows();
+  const auto cols = wc.trace.cols();
+
+  const MapResult rm =
+      map_sequence(rows, static_cast<std::uint32_t>(wc.trace.geometry().height));
+  ASSERT_TRUE(rm.ok()) << wc.name << " rows: " << rm.detail;
+  SragModel row_model(*rm.config);
+  EXPECT_EQ(row_model.generate(rows.size()), rows) << wc.name;
+
+  const MapResult cm =
+      map_sequence(cols, static_cast<std::uint32_t>(wc.trace.geometry().width));
+  ASSERT_TRUE(cm.ok()) << wc.name << " cols: " << cm.detail;
+  SragModel col_model(*cm.config);
+  EXPECT_EQ(col_model.generate(cols.size()), cols) << wc.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, MapperWorkloadTest,
+                         ::testing::Range<std::size_t>(0, 21));
+
+TEST(Mapper, RepairSplitsOverMergedGroups) {
+  // 0..7 visited once each then 8,9 twice: the greedy grouping merges 0..7
+  // into one register (P=8) clashing with (8,9)'s P=4. The repair pass must
+  // split it into two 4-flop registers and map with pC=4.
+  const V I{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 8, 9};
+  const MapResult r = map_sequence(I, 10);
+  ASSERT_TRUE(r.ok()) << r.detail;
+  EXPECT_EQ(r.params.pC, 4u);
+  ASSERT_EQ(r.config->registers.size(), 3u);
+  EXPECT_EQ(r.config->registers[0], (V{0, 1, 2, 3}));
+  EXPECT_EQ(r.config->registers[1], (V{4, 5, 6, 7}));
+  EXPECT_EQ(r.config->registers[2], (V{8, 9}));
+  SragModel m(*r.config);
+  EXPECT_EQ(m.generate(I.size()), I);
+}
+
+TEST(Mapper, AnalyzeSequenceExposesInitialGrouping) {
+  const V I{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 8, 9};
+  const SequenceAnalysis a = analyze_sequence(I);
+  ASSERT_TRUE(a.ok());
+  // Pre-repair: the merged grouping with non-uniform P is visible.
+  ASSERT_EQ(a.params.S.size(), 2u);
+  EXPECT_EQ(a.params.P, (V{8, 4}));
+}
+
+TEST(Mapper, FailureToStringCoversAllKinds) {
+  EXPECT_FALSE(to_string(MapFailure::EmptySequence).empty());
+  EXPECT_FALSE(to_string(MapFailure::NonUniformDivCount).empty());
+  EXPECT_FALSE(to_string(MapFailure::NonUniformPassCount).empty());
+  EXPECT_FALSE(to_string(MapFailure::GroupingFailed).empty());
+}
+
+TEST(MappingParameters, ToStringContainsAllSets) {
+  const V I{0, 0, 1, 1};
+  const MapResult r = map_sequence(I, 2);
+  ASSERT_TRUE(r.ok());
+  const std::string s = r.params.to_string();
+  for (const char* key : {"I  =", "D  =", "R  =", "U  =", "O  =", "Z  =", "S  =",
+                          "P  =", "dC =", "pC ="})
+    EXPECT_NE(s.find(key), std::string::npos) << key;
+}
+
+}  // namespace
+}  // namespace addm::core

@@ -1,0 +1,220 @@
+// Tests for the memory models: ADDM select-legality contract and corruption
+// semantics, conventional RAM, SFM FIFO, and the full gate-level AddmSystem
+// round-trips (integration).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+#include "memory/addm_array.hpp"
+#include "memory/conventional_ram.hpp"
+#include "memory/sfm_memory.hpp"
+#include "memory/system.hpp"
+#include "seq/workloads.hpp"
+
+namespace addm::memory {
+namespace {
+
+std::vector<std::uint8_t> one_hot(std::size_t n, std::size_t hot) {
+  std::vector<std::uint8_t> v(n, 0);
+  v[hot] = 1;
+  return v;
+}
+
+TEST(AddmArray, SingleCellReadWrite) {
+  AddmArray a({4, 4});
+  a.write(one_hot(4, 2), one_hot(4, 3), 0xAB);
+  EXPECT_EQ(a.read(one_hot(4, 2), one_hot(4, 3)), 0xABu);
+  EXPECT_EQ(a.read(one_hot(4, 0), one_hot(4, 0)), 0u);
+  EXPECT_EQ(a.violation_count(), 0u);
+  EXPECT_EQ(a.cell(2, 3), 0xABu);
+}
+
+TEST(AddmArray, TwoRowWriteCorruptsBothRows) {
+  // The Section-7 hazard: two asserted row selects write two cells.
+  AddmArray a({4, 4});
+  std::vector<std::uint8_t> rs(4, 0);
+  rs[1] = rs[2] = 1;
+  a.write(rs, one_hot(4, 0), 7);
+  EXPECT_EQ(a.violation_count(), 1u);
+  EXPECT_EQ(a.cell(1, 0), 7u);
+  EXPECT_EQ(a.cell(2, 0), 7u);  // corruption is observable
+}
+
+TEST(AddmArray, MultiReadWiredOr) {
+  AddmArray a({4, 4});
+  a.write_cell(0, 0, 0b0101);
+  a.write_cell(1, 0, 0b0011);
+  std::vector<std::uint8_t> rs(4, 0);
+  rs[0] = rs[1] = 1;
+  EXPECT_EQ(a.read(rs, one_hot(4, 0)), 0b0111u);
+  EXPECT_EQ(a.violation_count(), 1u);
+}
+
+TEST(AddmArray, NoSelectReadsZeroAndCounts) {
+  AddmArray a({2, 2});
+  EXPECT_EQ(a.read(std::vector<std::uint8_t>(2, 0), one_hot(2, 0)), 0u);
+  EXPECT_EQ(a.violation_count(), 1u);
+}
+
+TEST(AddmArray, StrictModeThrows) {
+  AddmArray a({2, 2});
+  a.set_strict(true);
+  std::vector<std::uint8_t> rs(2, 1);
+  EXPECT_THROW(a.write(rs, one_hot(2, 0), 1), std::logic_error);
+}
+
+TEST(AddmArray, SizeChecks) {
+  AddmArray a({4, 2});
+  EXPECT_THROW(a.write(one_hot(4, 0), one_hot(4, 0), 1), std::invalid_argument);
+  EXPECT_THROW(a.write_cell(2, 0, 1), std::out_of_range);
+  EXPECT_THROW(AddmArray({0, 4}), std::invalid_argument);
+}
+
+TEST(ConventionalRam, ReadWrite) {
+  ConventionalRam ram({4, 4});
+  ram.write(9, 42);
+  EXPECT_EQ(ram.read(9), 42u);
+  EXPECT_THROW(ram.write(16, 1), std::out_of_range);
+  EXPECT_THROW((void)ram.read(16), std::out_of_range);
+}
+
+TEST(SfmMemory, FifoOrder) {
+  SfmMemory fifo(4);
+  fifo.push(1);
+  fifo.push(2);
+  fifo.push(3);
+  EXPECT_EQ(fifo.occupancy(), 3u);
+  EXPECT_EQ(fifo.pop(), 1u);
+  EXPECT_EQ(fifo.pop(), 2u);
+  fifo.push(4);
+  fifo.push(5);  // wraps around the cell array
+  EXPECT_EQ(fifo.pop(), 3u);
+  EXPECT_EQ(fifo.pop(), 4u);
+  EXPECT_EQ(fifo.pop(), 5u);
+  EXPECT_TRUE(fifo.empty());
+}
+
+TEST(SfmMemory, OverflowUnderflow) {
+  SfmMemory fifo(2);
+  fifo.push(1);
+  fifo.push(2);
+  EXPECT_TRUE(fifo.full());
+  EXPECT_THROW(fifo.push(3), std::logic_error);
+  fifo.pop();
+  fifo.pop();
+  EXPECT_THROW(fifo.pop(), std::logic_error);
+  EXPECT_THROW(SfmMemory(0), std::invalid_argument);
+}
+
+// --- end-to-end gate-level integration ---------------------------------------
+
+TEST(AddmSystem, MotionEstimationRoundTrip) {
+  // Producer writes the image in raster order; consumer reads it in the
+  // block-matching order. Both generators are gate-level SRAGs.
+  seq::MotionEstimationParams p;
+  p.img_width = p.img_height = 8;
+  p.mb_width = p.mb_height = 4;
+  p.m = 0;
+  const auto write_trace = seq::incremental({8, 8});
+  const auto read_trace = seq::motion_estimation_read(p);
+
+  AddmSystem sys(write_trace, read_trace);
+  std::vector<std::uint32_t> image(write_trace.length());
+  std::iota(image.begin(), image.end(), 100);
+
+  const auto out = sys.run(image);
+  ASSERT_EQ(out.size(), read_trace.length());
+  // Reference: conventional RAM written/read with the same traces.
+  ConventionalRam ref({8, 8});
+  for (std::size_t k = 0; k < write_trace.length(); ++k)
+    ref.write(write_trace.linear()[k], image[k]);
+  for (std::size_t k = 0; k < read_trace.length(); ++k)
+    EXPECT_EQ(out[k], ref.read(read_trace.linear()[k])) << "access " << k;
+  EXPECT_EQ(sys.violation_count(), 0u);  // two-hot held for every access
+}
+
+TEST(AddmSystem, ZoomReadRoundTrip) {
+  const auto write_trace = seq::incremental({4, 4});
+  const auto read_trace = seq::zoom_by_two_read({4, 4});
+  AddmSystem sys(write_trace, read_trace);
+
+  std::vector<std::uint32_t> image(16);
+  std::mt19937 rng(3);
+  for (auto& v : image) v = rng() & 0xFF;
+
+  const auto out = sys.run(image);
+  for (std::size_t k = 0; k < read_trace.length(); ++k)
+    EXPECT_EQ(out[k], image[read_trace.linear()[k]]) << k;
+  EXPECT_EQ(sys.violation_count(), 0u);
+}
+
+TEST(AddmSystem, TransposeRoundTrip) {
+  const auto write_trace = seq::incremental({8, 4});
+  const auto read_trace = seq::transpose_read({8, 4});
+  AddmSystem sys(write_trace, read_trace);
+  std::vector<std::uint32_t> data(write_trace.length());
+  std::iota(data.begin(), data.end(), 0);
+  const auto out = sys.run(data);
+  for (std::size_t k = 0; k < out.size(); ++k)
+    EXPECT_EQ(out[k], read_trace.linear()[k]);  // identity data
+  EXPECT_EQ(sys.violation_count(), 0u);
+}
+
+// Every mappable read workload must round-trip through the gate-level system
+// against the conventional-RAM reference.
+class AddmSystemWorkloadTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AddmSystemWorkloadTest, RoundTripMatchesReference) {
+  constexpr std::size_t kDim = 8;
+  seq::AddressTrace read_trace = [&] {
+    switch (GetParam()) {
+      case 0: return seq::incremental({kDim, kDim});
+      case 1: {
+        seq::MotionEstimationParams p;
+        p.img_width = p.img_height = kDim;
+        p.mb_width = p.mb_height = 4;
+        p.m = 1;  // repeated block scans
+        return seq::motion_estimation_read(p);
+      }
+      case 2: return seq::dct_block_column_read({kDim, kDim}, 4);
+      case 3: return seq::zoom_by_two_read({kDim, kDim});
+      default: return seq::transpose_read({kDim, kDim});
+    }
+  }();
+  const auto write_trace = seq::incremental({kDim, kDim});
+
+  AddmSystem sys(write_trace, read_trace);
+  std::vector<std::uint32_t> data(write_trace.length());
+  std::mt19937 rng(11 + static_cast<unsigned>(GetParam()));
+  for (auto& v : data) v = rng() & 0xFFFF;
+
+  const auto out = sys.run(data);
+  ConventionalRam ref({kDim, kDim});
+  for (std::size_t k = 0; k < write_trace.length(); ++k)
+    ref.write(write_trace.linear()[k], data[k]);
+  for (std::size_t k = 0; k < read_trace.length(); ++k)
+    ASSERT_EQ(out[k], ref.read(read_trace.linear()[k])) << "access " << k;
+  EXPECT_EQ(sys.violation_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, AddmSystemWorkloadTest, ::testing::Range(0, 5));
+
+TEST(AddmSystem, RejectsMismatchedGeometry) {
+  EXPECT_THROW(AddmSystem(seq::incremental({4, 4}), seq::incremental({8, 8})),
+               std::invalid_argument);
+}
+
+TEST(AddmSystem, RejectsUnmappableTrace) {
+  EXPECT_THROW(AddmSystem(seq::incremental({8, 8}), seq::strided({8, 8}, 3)),
+               std::invalid_argument);
+}
+
+TEST(AddmSystem, RejectsWrongDataLength) {
+  AddmSystem sys(seq::incremental({4, 4}), seq::incremental({4, 4}));
+  std::vector<std::uint32_t> too_short(3);
+  EXPECT_THROW(sys.run(too_short), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace addm::memory

@@ -1,0 +1,166 @@
+// Tests for the multi-counter SRAG extension: the paper's PassCnt
+// counter-example becomes mappable, behavioral and gate-level agree, and the
+// plain mapper's successes are preserved.
+#include <gtest/gtest.h>
+
+#include "core/multicounter.hpp"
+#include "core/srag_mapper.hpp"
+#include "seq/workloads.hpp"
+#include "sim/simulator.hpp"
+
+namespace addm::core {
+namespace {
+
+using V = std::vector<std::uint32_t>;
+
+TEST(MultiSragConfig, Validation) {
+  MultiSragConfig cfg;
+  EXPECT_THROW(cfg.check(), std::invalid_argument);
+  cfg.registers = {{0, 1}, {2, 3}};
+  cfg.pass_counts = {4};  // size mismatch
+  cfg.num_select_lines = 4;
+  EXPECT_THROW(cfg.check(), std::invalid_argument);
+  cfg.pass_counts = {4, 3};  // 3 not a multiple of 2
+  EXPECT_THROW(cfg.check(), std::invalid_argument);
+  cfg.pass_counts = {4, 2};
+  EXPECT_NO_THROW(cfg.check());
+}
+
+TEST(MultiSragModel, PerRegisterIterationCounts) {
+  MultiSragConfig cfg;
+  cfg.registers = {{5, 1, 4, 0}, {3, 7, 6, 2}};
+  cfg.div_count = 1;
+  cfg.pass_counts = {12, 8};  // 3 loops of S0, 2 loops of S1
+  cfg.num_select_lines = 8;
+  MultiSragModel m(cfg);
+  // Exactly the paper's PassCnt-violating sequence.
+  EXPECT_EQ(m.generate(20),
+            (V{5, 1, 4, 0, 5, 1, 4, 0, 5, 1, 4, 0, 3, 7, 6, 2, 3, 7, 6, 2}));
+}
+
+TEST(MultiMapper, PaperPassCntViolationNowMaps) {
+  const V I{5, 1, 4, 0, 5, 1, 4, 0, 5, 1, 4, 0, 3, 7, 6, 2, 3, 7, 6, 2};
+  ASSERT_FALSE(map_sequence(I, 8).ok());  // single-counter SRAG cannot
+  const MultiMapResult r = map_sequence_multicounter(I, 8);
+  ASSERT_TRUE(r.ok()) << r.detail;
+  EXPECT_EQ(r.config->pass_counts, (V{12, 8}));
+  MultiSragModel m(*r.config);
+  EXPECT_EQ(m.generate(I.size()), I);
+}
+
+TEST(MultiMapper, StillRejectsDivCntViolation) {
+  const V I{5, 5, 5, 1, 1};
+  const MultiMapResult r = map_sequence_multicounter(I, 8);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.failure, MapFailure::NonUniformDivCount);
+}
+
+TEST(MultiMapper, StillRejectsUnorderableSequences) {
+  const MultiMapResult r = map_sequence_multicounter(V{1, 2, 3, 4, 3, 2, 1, 4}, 5);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.failure, MapFailure::GroupingFailed);
+}
+
+TEST(MultiMapper, AgreesWithPlainMapperWhenUniform) {
+  const V I{0, 0, 1, 1, 0, 0, 1, 1, 2, 2, 3, 3, 2, 2, 3, 3};
+  const MapResult plain = map_sequence(I, 4);
+  const MultiMapResult multi = map_sequence_multicounter(I, 4);
+  ASSERT_TRUE(plain.ok() && multi.ok());
+  EXPECT_EQ(multi.config->registers, plain.config->registers);
+  EXPECT_EQ(multi.config->div_count, plain.config->div_count);
+  for (std::uint32_t pc : multi.config->pass_counts)
+    EXPECT_EQ(pc, plain.config->pass_count);
+}
+
+struct MultiElabCase {
+  const char* name;
+  MultiSragConfig cfg;
+};
+
+std::vector<MultiElabCase> elaboration_cases() {
+  std::vector<MultiElabCase> cases;
+  {
+    MultiSragConfig c;
+    c.registers = {{5, 1, 4, 0}, {3, 7, 6, 2}};
+    c.div_count = 1;
+    c.pass_counts = {12, 8};
+    c.num_select_lines = 8;
+    cases.push_back({"paper_12_8", c});
+  }
+  {
+    MultiSragConfig c;
+    c.registers = {{0, 1}, {2, 3}, {4}};
+    c.div_count = 2;
+    c.pass_counts = {4, 2, 3};
+    c.num_select_lines = 5;
+    cases.push_back({"three_regs_mixed", c});
+  }
+  {
+    MultiSragConfig c;  // degenerate: every register passes immediately
+    c.registers = {{0}, {1}, {2}};
+    c.div_count = 1;
+    c.pass_counts = {1, 1, 1};
+    c.num_select_lines = 3;
+    cases.push_back({"all_pass_through", c});
+  }
+  return cases;
+}
+
+class MultiSragElabTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MultiSragElabTest, NetlistMatchesBehavioralModel) {
+  const auto cases = elaboration_cases();
+  const auto& tc = cases[GetParam()];
+  netlist::Netlist nl = elaborate_multi_srag(tc.cfg);
+  ASSERT_TRUE(nl.validate().empty()) << tc.name;
+
+  sim::Simulator s(nl);
+  s.set("reset", true);
+  s.set("next", false);
+  s.step();
+  s.set("reset", false);
+  s.set("next", true);
+
+  MultiSragModel model(tc.cfg);
+  std::size_t period = 0;
+  for (std::size_t i = 0; i < tc.cfg.num_registers(); ++i)
+    period += tc.cfg.pass_counts[i];
+  const std::size_t steps = 3 * period * tc.cfg.div_count + 8;
+  for (std::size_t i = 0; i < steps; ++i) {
+    const auto hot = s.hot_index("sel");
+    ASSERT_TRUE(hot.has_value()) << tc.name << " cycle " << i << ": not one-hot";
+    ASSERT_EQ(*hot, model.current()) << tc.name << " cycle " << i;
+    s.step();
+    model.pulse();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, MultiSragElabTest, ::testing::Range<std::size_t>(0, 3));
+
+TEST(MultiMapper, MappableWorkloadsStillMap) {
+  // The multi-counter mapper must be a strict generalization over workloads.
+  seq::MotionEstimationParams p;
+  p.img_width = p.img_height = 16;
+  p.mb_width = p.mb_height = 4;
+  p.m = 0;
+  const auto trace = seq::motion_estimation_read(p);
+  const auto rows = trace.rows();
+  const auto r = map_sequence_multicounter(rows, 16);
+  ASSERT_TRUE(r.ok()) << r.detail;
+  MultiSragModel m(*r.config);
+  EXPECT_EQ(m.generate(rows.size()), rows);
+}
+
+TEST(MultiMapper, UnequalBlockRevisitsBecomeMappable) {
+  // A sequence with per-group iteration counts 2 and 1 — unmappable for the
+  // single-PassCnt SRAG, fine for the extension.
+  const V I{0, 1, 0, 1, 2, 3};
+  ASSERT_FALSE(map_sequence(I, 4).ok());
+  const MultiMapResult r = map_sequence_multicounter(I, 4);
+  ASSERT_TRUE(r.ok()) << r.detail;
+  MultiSragModel m(*r.config);
+  EXPECT_EQ(m.generate(6), I);
+}
+
+}  // namespace
+}  // namespace addm::core

@@ -1,0 +1,174 @@
+// Randomized property tests over the SRAG stack:
+//  * round trip: a random valid SragConfig's generated sequence must map
+//    back to *some* config whose replay reproduces it exactly;
+//  * the mapped config never uses more flip-flops than the generating one;
+//  * gate-level elaborations of random configs track the behavioral model
+//    and keep the one-hot token invariant;
+//  * multi-counter round trips for random per-register pass counts.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+#include "core/multicounter.hpp"
+#include "core/srag_elab.hpp"
+#include "core/srag_mapper.hpp"
+#include "core/srag_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace addm::core {
+namespace {
+
+SragConfig random_config(std::mt19937& rng) {
+  std::uniform_int_distribution<int> regs_dist(1, 4);
+  std::uniform_int_distribution<int> pc_pick(0, 3);
+  std::uniform_int_distribution<int> dc_dist(1, 4);
+  const int n_regs = regs_dist(rng);
+  const std::uint32_t pc_options[] = {2, 4, 6, 12};
+  const std::uint32_t pC = pc_options[pc_pick(rng)];
+
+  // Register lengths must divide pC. Length-1 registers are excluded: a
+  // single flip-flop looping pC times emits consecutive repeats that the
+  // Section-5 procedure misreads as division counts — a documented
+  // conservatism of the paper's heuristic (see MapperConservatism below).
+  std::vector<std::uint32_t> divisors;
+  for (std::uint32_t d = 2; d <= pC; ++d)
+    if (pC % d == 0) divisors.push_back(d);
+
+  SragConfig cfg;
+  cfg.div_count = static_cast<std::uint32_t>(dc_dist(rng));
+  cfg.pass_count = pC;
+  std::uint32_t next_line = 0;
+  for (int i = 0; i < n_regs; ++i) {
+    const std::uint32_t len = divisors[rng() % divisors.size()];
+    std::vector<std::uint32_t> reg(len);
+    std::iota(reg.begin(), reg.end(), next_line);
+    next_line += len;
+    cfg.registers.push_back(std::move(reg));
+  }
+  // Shuffle the select-line assignment globally (keeps lines distinct).
+  std::vector<std::uint32_t> perm(next_line);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::shuffle(perm.begin(), perm.end(), rng);
+  for (auto& reg : cfg.registers)
+    for (auto& line : reg) line = perm[line];
+  cfg.num_select_lines = next_line;
+  return cfg;
+}
+
+std::size_t full_period(const SragConfig& cfg) {
+  return static_cast<std::size_t>(cfg.div_count) * cfg.pass_count * cfg.num_registers();
+}
+
+class SragRoundTripFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SragRoundTripFuzz, MapOfGeneratedSequenceReplays) {
+  std::mt19937 rng(GetParam());
+  for (int trial = 0; trial < 25; ++trial) {
+    const SragConfig cfg = random_config(rng);
+    SragModel model(cfg);
+    const auto seq = model.generate(2 * full_period(cfg));
+
+    const MapResult r = map_sequence(seq, cfg.num_select_lines);
+    ASSERT_TRUE(r.ok()) << "seed " << GetParam() << " trial " << trial << ": "
+                        << r.detail;
+    SragModel mapped(*r.config);
+    EXPECT_EQ(mapped.generate(seq.size()), seq) << "seed " << GetParam();
+    // The mapper's grouping may merge registers but never invents state.
+    EXPECT_LE(r.config->num_flipflops(), cfg.num_flipflops());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SragRoundTripFuzz, ::testing::Range(1u, 9u));
+
+class SragGateLevelFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SragGateLevelFuzz, NetlistTracksModelAndStaysOneHot) {
+  std::mt19937 rng(100 + GetParam());
+  for (int trial = 0; trial < 5; ++trial) {
+    const SragConfig cfg = random_config(rng);
+    netlist::Netlist nl = elaborate_srag(cfg);
+    ASSERT_TRUE(nl.validate().empty());
+
+    sim::Simulator s(nl);
+    s.set("reset", true);
+    s.set("next", false);
+    s.step();
+    s.set("reset", false);
+
+    SragModel model(cfg);
+    std::uniform_int_distribution<int> coin(0, 1);
+    const std::size_t steps = 2 * full_period(cfg) + 7;
+    for (std::size_t i = 0; i < steps; ++i) {
+      // Randomly stutter `next` — the generator must freeze cleanly.
+      const bool pulse = coin(rng) != 0;
+      ASSERT_EQ(s.hot_count("sel"), 1u) << "trial " << trial << " step " << i;
+      ASSERT_EQ(s.hot_index("sel"), model.current()) << "trial " << trial << " step " << i;
+      s.set("next", pulse);
+      s.step();
+      if (pulse) model.pulse();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SragGateLevelFuzz, ::testing::Range(1u, 5u));
+
+class MultiCounterFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MultiCounterFuzz, RoundTripWithUnequalPassCounts) {
+  std::mt19937 rng(500 + GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    MultiSragConfig cfg;
+    std::uniform_int_distribution<int> regs_dist(2, 4);
+    std::uniform_int_distribution<int> len_dist(2, 4);  // see random_config note
+    std::uniform_int_distribution<int> iter_dist(1, 3);
+    const int n_regs = regs_dist(rng);
+    std::uint32_t next_line = 0;
+    std::size_t period = 0;
+    for (int i = 0; i < n_regs; ++i) {
+      const std::uint32_t len = static_cast<std::uint32_t>(len_dist(rng));
+      std::vector<std::uint32_t> reg(len);
+      std::iota(reg.begin(), reg.end(), next_line);
+      next_line += len;
+      cfg.registers.push_back(std::move(reg));
+      const std::uint32_t iters = static_cast<std::uint32_t>(iter_dist(rng));
+      cfg.pass_counts.push_back(len * iters);
+      period += len * iters;
+    }
+    cfg.div_count = 1 + static_cast<std::uint32_t>(rng() % 3);
+    cfg.num_select_lines = next_line;
+
+    MultiSragModel model(cfg);
+    const auto seq = model.generate(2 * period * cfg.div_count);
+    const auto r = map_sequence_multicounter(seq, cfg.num_select_lines);
+    ASSERT_TRUE(r.ok()) << "seed " << GetParam() << " trial " << trial << ": "
+                        << r.detail;
+    MultiSragModel mapped(*r.config);
+    EXPECT_EQ(mapped.generate(seq.size()), seq);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiCounterFuzz, ::testing::Range(1u, 7u));
+
+TEST(MapperConservatism, SingleFlopRegisterSequencesAreRejected) {
+  // An SRAG with a 1-flip-flop register looping twice CAN generate
+  // 7,7,0,1,0,1 (dC=1, registers {7},{0,1}, pC=2) — but the Section-5
+  // procedure derives division counts from run lengths, reads the leading
+  // 7,7 as dC=2, and rejects. The paper's mapper is sound (everything it
+  // accepts replays) but not complete; this test documents the boundary.
+  SragConfig cfg;
+  cfg.registers = {{7}, {0, 1}};
+  cfg.div_count = 1;
+  cfg.pass_count = 2;
+  cfg.num_select_lines = 8;
+  SragModel model(cfg);
+  const auto seq = model.generate(12);
+  ASSERT_EQ(seq[0], 7u);
+  ASSERT_EQ(seq[1], 7u);  // the ambiguous repeat
+  const MapResult r = map_sequence(seq, 8);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.failure, MapFailure::NonUniformDivCount);
+}
+
+}  // namespace
+}  // namespace addm::core

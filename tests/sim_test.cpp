@@ -1,0 +1,258 @@
+// Unit tests for the cycle simulator: gate semantics, flip-flop variants,
+// bus helpers, hot-line queries and toggle counting.
+#include <gtest/gtest.h>
+
+#include "netlist/builder.hpp"
+#include "sim/simulator.hpp"
+
+namespace addm::sim {
+namespace {
+
+using netlist::CellType;
+using netlist::kConst0;
+using netlist::kConst1;
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::NetlistBuilder;
+
+TEST(Simulator, CombinationalGateSemantics) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  b.set_sharing(false);  // keep one cell per operator even for equal inputs
+  const NetId a = b.input("a");
+  const NetId c = b.input("c");
+  b.output("inv", b.inv(a));
+  b.output("and", b.and2(a, c));
+  b.output("or", b.or2(a, c));
+  b.output("xor", b.xor2(a, c));
+  b.output("nand", b.nand2(a, c));
+  b.output("nor", b.nor2(a, c));
+  b.output("xnor", b.xnor2(a, c));
+
+  Simulator s(nl);
+  for (int av = 0; av <= 1; ++av)
+    for (int cv = 0; cv <= 1; ++cv) {
+      s.set("a", av);
+      s.set("c", cv);
+      s.eval();
+      EXPECT_EQ(s.get("inv"), !av);
+      EXPECT_EQ(s.get("and"), av && cv);
+      EXPECT_EQ(s.get("or"), av || cv);
+      EXPECT_EQ(s.get("xor"), av != cv);
+      EXPECT_EQ(s.get("nand"), !(av && cv));
+      EXPECT_EQ(s.get("nor"), !(av || cv));
+      EXPECT_EQ(s.get("xnor"), av == cv);
+    }
+}
+
+TEST(Simulator, MuxSemantics) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId sel = b.input("sel");
+  const NetId d0 = b.input("d0");
+  const NetId d1 = b.input("d1");
+  b.output("y", b.mux2(sel, d0, d1));
+  Simulator s(nl);
+  s.set("d0", false);
+  s.set("d1", true);
+  s.set("sel", false);
+  s.eval();
+  EXPECT_FALSE(s.get("y"));
+  s.set("sel", true);
+  s.eval();
+  EXPECT_TRUE(s.get("y"));
+}
+
+TEST(Simulator, DffBasic) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId d = b.input("d");
+  b.output("q", b.dff(d));
+  Simulator s(nl);
+  EXPECT_FALSE(s.get("q"));  // powers up at 0
+  s.set("d", true);
+  s.step();
+  EXPECT_TRUE(s.get("q"));
+  s.set("d", false);
+  s.step();
+  EXPECT_FALSE(s.get("q"));
+}
+
+TEST(Simulator, DffResetAndSetVariants) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId d = b.input("d");
+  const NetId r = b.input("r");
+  b.output("qr", b.dff_r(d, r));
+  b.output("qs", b.dff_s(d, r));
+  Simulator s(nl);
+  s.set("d", true);
+  s.set("r", false);
+  s.step();
+  EXPECT_TRUE(s.get("qr"));
+  EXPECT_TRUE(s.get("qs"));
+  s.set("r", true);  // reset dominates d
+  s.step();
+  EXPECT_FALSE(s.get("qr"));
+  EXPECT_TRUE(s.get("qs"));
+  s.set("d", false);
+  s.step();
+  EXPECT_FALSE(s.get("qr"));
+  EXPECT_TRUE(s.get("qs"));  // set forces 1
+}
+
+TEST(Simulator, DffEnableHolds) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId d = b.input("d");
+  const NetId e = b.input("e");
+  b.output("q", b.dff_e(d, e));
+  Simulator s(nl);
+  s.set("d", true);
+  s.set("e", false);
+  s.step();
+  EXPECT_FALSE(s.get("q"));  // held
+  s.set("e", true);
+  s.step();
+  EXPECT_TRUE(s.get("q"));
+  s.set("d", false);
+  s.set("e", false);
+  s.step();
+  EXPECT_TRUE(s.get("q"));  // held again
+}
+
+TEST(Simulator, DffErResetDominatesEnable) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId d = b.input("d");
+  const NetId e = b.input("e");
+  const NetId r = b.input("r");
+  b.output("q", b.dff_er(d, e, r));
+  Simulator s(nl);
+  s.set("d", true);
+  s.set("e", true);
+  s.set("r", false);
+  s.step();
+  EXPECT_TRUE(s.get("q"));
+  s.set("e", false);
+  s.set("r", true);  // reset fires even with enable low
+  s.step();
+  EXPECT_FALSE(s.get("q"));
+}
+
+TEST(Simulator, DffEsSetDominatesEnable) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId d = b.input("d");
+  const NetId e = b.input("e");
+  const NetId st = b.input("s");
+  b.output("q", b.dff_es(d, e, st));
+  Simulator s(nl);
+  s.set("d", false);
+  s.set("e", false);
+  s.set("s", true);
+  s.step();
+  EXPECT_TRUE(s.get("q"));
+}
+
+TEST(Simulator, ToggleFlopDividesByTwo) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId q = nl.new_net();
+  nl.add_cell(CellType::Dff, {b.inv(q)}, q);
+  nl.add_output("q", q);
+  Simulator s(nl);
+  bool expect = false;
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(s.get("q"), expect);
+    s.step();
+    expect = !expect;
+  }
+}
+
+TEST(Simulator, BusHelpers) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const auto in = b.input_bus("d", 4);
+  std::vector<NetId> qs;
+  for (auto n : in) qs.push_back(b.dff(n));
+  b.output_bus("q", qs);
+  Simulator s(nl);
+  s.set_bus("d", 0b1010);
+  s.step();
+  EXPECT_EQ(s.get_bus("q"), 0b1010u);
+  EXPECT_THROW(s.set_bus("nope", 1), std::invalid_argument);
+  EXPECT_THROW((void)s.get_bus("nope"), std::invalid_argument);
+}
+
+TEST(Simulator, HotIndexDetectsSingleAndMultiple) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId a = b.input("a");
+  b.output("sel[0]", a);
+  b.output("sel[1]", b.inv(a));
+  b.output("sel[2]", kConst0);
+  Simulator s(nl);
+  s.set("a", true);
+  s.eval();
+  EXPECT_EQ(s.hot_index("sel"), 0u);
+  EXPECT_EQ(s.hot_count("sel"), 1u);
+
+  Netlist nl2;
+  NetlistBuilder b2(nl2);
+  b2.output("sel[0]", kConst1);
+  b2.output("sel[1]", kConst1);
+  Simulator s2(nl2);
+  s2.eval();
+  EXPECT_FALSE(s2.hot_index("sel").has_value());  // two-hot violation
+  EXPECT_EQ(s2.hot_count("sel"), 2u);
+}
+
+TEST(Simulator, PowerOnResetClearsState) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId d = b.input("d");
+  b.output("q", b.dff(d));
+  Simulator s(nl);
+  s.set("d", true);
+  s.step();
+  EXPECT_TRUE(s.get("q"));
+  s.power_on_reset();
+  EXPECT_FALSE(s.get("q"));
+  EXPECT_EQ(s.cycles(), 0u);
+}
+
+TEST(Simulator, ToggleCounting) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId q = nl.new_net();
+  nl.add_cell(CellType::Dff, {b.inv(q)}, q);
+  nl.add_output("q", q);
+  Simulator s(nl);
+  s.enable_toggle_counting();
+  s.run(10);
+  EXPECT_EQ(s.toggles()[q], 10u);  // toggles every cycle
+}
+
+TEST(Simulator, RejectsCombinationalLoop) {
+  Netlist nl;
+  const NetId a = nl.new_net();
+  const NetId y = nl.new_net();
+  nl.add_cell(CellType::Inv, {a}, y);
+  nl.add_cell(CellType::Inv, {y}, a);
+  EXPECT_THROW(Simulator s(nl), std::invalid_argument);
+}
+
+TEST(Simulator, SetInputRejectsNonInput) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId a = b.input("a");
+  const NetId y = b.inv(a);
+  b.output("y", y);
+  Simulator s(nl);
+  EXPECT_THROW(s.set_input(y, true), std::invalid_argument);
+  EXPECT_THROW(s.set("zz", true), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace addm::sim

@@ -1,0 +1,113 @@
+// Tests for drive strengths and the gate-sizing pass.
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "netlist/builder.hpp"
+#include "seq/workloads.hpp"
+#include "tech/library.hpp"
+#include "tech/sizing.hpp"
+#include "tech/sta.hpp"
+
+namespace addm::tech {
+namespace {
+
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::NetlistBuilder;
+
+TEST(DriveStrength, FactorsAreMonotonic) {
+  EXPECT_LT(Library::drive_area_factor(1), Library::drive_area_factor(2));
+  EXPECT_LT(Library::drive_area_factor(2), Library::drive_area_factor(4));
+  EXPECT_GT(Library::drive_slope_factor(1), Library::drive_slope_factor(2));
+  EXPECT_GT(Library::drive_slope_factor(2), Library::drive_slope_factor(4));
+  EXPECT_LE(Library::drive_intrinsic_factor(1), Library::drive_intrinsic_factor(4));
+}
+
+TEST(DriveStrength, SetCellDriveValidates) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId a = b.input("a");
+  b.output("y", b.inv(a));
+  nl.set_cell_drive(0, 4);
+  EXPECT_EQ(nl.cell(0).drive, 4);
+  EXPECT_THROW(nl.set_cell_drive(0, 3), std::invalid_argument);
+  EXPECT_THROW(nl.set_cell_drive(9, 2), std::out_of_range);
+}
+
+TEST(DriveStrength, UpsizingLoadedGateReducesDelay) {
+  const auto lib = Library::generic_180nm();
+  Netlist nl;
+  NetlistBuilder b(nl);
+  b.set_sharing(false);
+  const NetId a = b.input("a");
+  const NetId c = b.input("c");
+  const NetId hub = b.and2(a, c);
+  for (int i = 0; i < 30; ++i)
+    b.output("y" + std::to_string(i), b.and2(hub, b.input("l" + std::to_string(i))));
+  const double before = analyze_timing(nl, lib).critical_path_ns;
+  nl.set_cell_drive(*nl.driver_of(hub), 4);
+  const double after = analyze_timing(nl, lib).critical_path_ns;
+  EXPECT_LT(after, before);
+}
+
+TEST(DriveStrength, UpsizingIncreasesArea) {
+  const auto lib = Library::generic_180nm();
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId a = b.input("a");
+  b.output("y", b.inv(a));
+  const double a1 = analyze_area(nl, lib).total;
+  nl.set_cell_drive(0, 4);
+  const double a4 = analyze_area(nl, lib).total;
+  EXPECT_NEAR(a4, a1 * Library::drive_area_factor(4), 1e-9);
+}
+
+TEST(Sizing, LoadBasedRuleUpsizesHubs) {
+  const auto lib = Library::generic_180nm();
+  Netlist nl;
+  NetlistBuilder b(nl);
+  b.set_sharing(false);
+  const NetId a = b.input("a");
+  const NetId c = b.input("c");
+  const NetId hub = b.and2(a, c);  // will drive 12 loads
+  for (int i = 0; i < 12; ++i)
+    b.output("y" + std::to_string(i), b.and2(hub, b.input("l" + std::to_string(i))));
+  const auto stats = size_gates(nl, lib);
+  EXPECT_GE(stats.upsized_x4, 1u);
+  EXPECT_EQ(nl.cell(*nl.driver_of(hub)).drive, 4);
+}
+
+TEST(Sizing, NeverWorsensDelay) {
+  const auto lib = Library::generic_180nm();
+  auto build = core::build_srag_2d_for_trace(seq::incremental({32, 32}));
+  insert_buffers(build.netlist);
+  const double before = analyze_timing(build.netlist, lib).critical_path_ns;
+  const auto stats = size_gates(build.netlist, lib);
+  EXPECT_LE(stats.delay_after_ns, before + 1e-9);
+  EXPECT_NEAR(stats.delay_before_ns, before, 1e-9);
+}
+
+TEST(Sizing, ImprovesBufferedSragDelay) {
+  const auto lib = Library::generic_180nm();
+  seq::MotionEstimationParams p;
+  p.img_width = p.img_height = 64;
+  p.mb_width = p.mb_height = 8;
+  p.m = 0;
+  auto build = core::build_srag_2d_for_trace(seq::motion_estimation_read(p));
+  insert_buffers(build.netlist);
+  const auto stats = size_gates(build.netlist, lib);
+  EXPECT_LT(stats.delay_after_ns, stats.delay_before_ns);
+}
+
+TEST(Sizing, RespectsRepairBudget) {
+  const auto lib = Library::generic_180nm();
+  auto build = core::build_srag_2d_for_trace(seq::incremental({16, 16}));
+  insert_buffers(build.netlist);
+  SizingOptions opt;
+  opt.max_repair_rounds = 0;  // load-based stage only
+  const auto stats = size_gates(build.netlist, lib, opt);
+  EXPECT_EQ(stats.repair_rounds, 0);
+}
+
+}  // namespace
+}  // namespace addm::tech

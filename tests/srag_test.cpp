@@ -1,0 +1,253 @@
+// Tests for the SRAG architecture: config validation, behavioral model
+// semantics (paper Section-4 examples), gate-level elaboration equivalence
+// against the behavioral model, and the token one-hotness invariant.
+#include <gtest/gtest.h>
+
+#include "core/srag_elab.hpp"
+#include "core/srag_mapper.hpp"
+#include "core/srag_model.hpp"
+#include "seq/workloads.hpp"
+#include "sim/simulator.hpp"
+
+namespace addm::core {
+namespace {
+
+using V = std::vector<std::uint32_t>;
+
+SragConfig figure5_config(std::uint32_t dC, std::uint32_t pC) {
+  // The SRAG of Figure 5: S0 -> lines (5,1,4,0), S1 -> lines (3,7,6,2).
+  SragConfig cfg;
+  cfg.registers = {{5, 1, 4, 0}, {3, 7, 6, 2}};
+  cfg.div_count = dC;
+  cfg.pass_count = pC;
+  cfg.num_select_lines = 8;
+  return cfg;
+}
+
+TEST(SragConfig, CheckRejectsBadConfigs) {
+  SragConfig cfg;
+  EXPECT_THROW(cfg.check(), std::invalid_argument);  // no registers
+  cfg = figure5_config(1, 8);
+  cfg.registers[1][0] = 5;  // duplicate select line
+  EXPECT_THROW(cfg.check(), std::invalid_argument);
+  cfg = figure5_config(1, 8);
+  cfg.num_select_lines = 4;  // out of range lines
+  EXPECT_THROW(cfg.check(), std::invalid_argument);
+  cfg = figure5_config(1, 6);  // pC not multiple of register length
+  EXPECT_THROW(cfg.check(), std::invalid_argument);
+  cfg = figure5_config(0, 8);
+  EXPECT_THROW(cfg.check(), std::invalid_argument);
+}
+
+TEST(SragModel, PaperDivCntSequence) {
+  // dC=2, pass always firing at register boundaries (pC=4 covers one loop):
+  // 5,5,1,1,4,4,0,0,3,3,7,7,6,6,2,2.
+  SragModel m(figure5_config(2, 4));
+  EXPECT_EQ(m.generate(16), (V{5, 5, 1, 1, 4, 4, 0, 0, 3, 3, 7, 7, 6, 6, 2, 2}));
+}
+
+TEST(SragModel, PaperPassCntSequence) {
+  // dC=1, pC=8: 5,1,4,0,5,1,4,0,3,7,6,2,3,7,6,2.
+  SragModel m(figure5_config(1, 8));
+  EXPECT_EQ(m.generate(16), (V{5, 1, 4, 0, 5, 1, 4, 0, 3, 7, 6, 2, 3, 7, 6, 2}));
+}
+
+TEST(SragModel, WrapsAroundAllRegisters) {
+  SragModel m(figure5_config(1, 4));
+  // One loop each register, then back to register 0.
+  EXPECT_EQ(m.generate(10), (V{5, 1, 4, 0, 3, 7, 6, 2, 5, 1}));
+}
+
+TEST(SragModel, ResetRestoresInitialState) {
+  SragModel m(figure5_config(1, 4));
+  m.pulse();
+  m.pulse();
+  EXPECT_NE(m.current(), 5u);
+  m.reset();
+  EXPECT_EQ(m.current(), 5u);
+  EXPECT_EQ(m.token_register(), 0u);
+  EXPECT_EQ(m.token_position(), 0u);
+  EXPECT_EQ(m.div_counter(), 0u);
+  EXPECT_EQ(m.pass_counter(), 0u);
+}
+
+TEST(SragModel, DivCounterHoldsAddress) {
+  SragModel m(figure5_config(3, 12));
+  EXPECT_EQ(m.generate(9), (V{5, 5, 5, 1, 1, 1, 4, 4, 4}));
+}
+
+// --- gate-level equivalence -------------------------------------------------
+
+struct ElabCase {
+  const char* name;
+  SragConfig cfg;
+};
+
+std::vector<ElabCase> elaboration_cases() {
+  std::vector<ElabCase> cases;
+  cases.push_back({"fig5_dc1_pc8", figure5_config(1, 8)});
+  cases.push_back({"fig5_dc2_pc4", figure5_config(2, 4)});
+  cases.push_back({"fig5_dc3_pc12", figure5_config(3, 12)});
+  {
+    SragConfig ring;  // single register, no muxes, no PassCnt
+    ring.registers = {{0, 1, 2, 3, 4, 5, 6, 7}};
+    ring.div_count = 1;
+    ring.pass_count = 8;
+    ring.num_select_lines = 8;
+    cases.push_back({"ring8", ring});
+  }
+  {
+    SragConfig tiny;  // single flip-flop
+    tiny.registers = {{0}};
+    tiny.div_count = 2;
+    tiny.pass_count = 1;
+    tiny.num_select_lines = 1;
+    cases.push_back({"single", tiny});
+  }
+  {
+    SragConfig three;  // three registers of uneven lengths, pC = lcm-friendly
+    three.registers = {{0, 1}, {2, 3}, {4, 5}};
+    three.div_count = 1;
+    three.pass_count = 4;
+    three.num_select_lines = 6;
+    cases.push_back({"three_regs", three});
+  }
+  return cases;
+}
+
+class SragElabTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SragElabTest, NetlistMatchesBehavioralModel) {
+  const auto cases = elaboration_cases();
+  const auto& tc = cases[GetParam()];
+  netlist::Netlist nl = elaborate_srag(tc.cfg);
+  ASSERT_TRUE(nl.validate().empty()) << tc.name;
+
+  sim::Simulator s(nl);
+  s.set("reset", true);
+  s.set("next", false);
+  s.step();
+  s.set("reset", false);
+
+  SragModel model(tc.cfg);
+  const std::size_t steps =
+      4 * tc.cfg.num_flipflops() * tc.cfg.div_count * tc.cfg.num_registers() + 8;
+  s.set("next", true);
+  for (std::size_t i = 0; i < steps; ++i) {
+    const auto hot = s.hot_index("sel");
+    ASSERT_TRUE(hot.has_value()) << tc.name << " cycle " << i << ": not one-hot";
+    ASSERT_EQ(*hot, model.current()) << tc.name << " cycle " << i;
+    s.step();
+    model.pulse();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, SragElabTest, ::testing::Range<std::size_t>(0, 6));
+
+TEST(SragElab, TokenInvariantExactlyOneHot) {
+  // Property: across the whole period, exactly one select line is hot, even
+  // while `next` idles.
+  netlist::Netlist nl = elaborate_srag(figure5_config(2, 8));
+  sim::Simulator s(nl);
+  s.set("reset", true);
+  s.set("next", false);
+  s.step();
+  s.set("reset", false);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(s.hot_count("sel"), 1u) << "cycle " << i;
+    s.set("next", (i % 3) != 0);  // stutter the next signal
+    s.step();
+  }
+}
+
+TEST(SragElab, NextLowFreezesGenerator) {
+  netlist::Netlist nl = elaborate_srag(figure5_config(1, 8));
+  sim::Simulator s(nl);
+  s.set("reset", true);
+  s.set("next", false);
+  s.step();
+  s.set("reset", false);
+  s.run(10);
+  EXPECT_EQ(s.hot_index("sel"), 5u);  // still on the first address
+}
+
+TEST(SragElab, MidStreamResetReturnsToStart) {
+  netlist::Netlist nl = elaborate_srag(figure5_config(1, 8));
+  sim::Simulator s(nl);
+  s.set("reset", true);
+  s.set("next", false);
+  s.step();
+  s.set("reset", false);
+  s.set("next", true);
+  s.run(5);
+  EXPECT_NE(s.hot_index("sel"), 5u);
+  s.set("reset", true);
+  s.step();
+  s.set("reset", false);
+  EXPECT_EQ(s.hot_index("sel"), 5u);
+}
+
+TEST(SragElab, UnvisitedSelectLinesTiedLow) {
+  SragConfig cfg;
+  cfg.registers = {{1, 3}};
+  cfg.div_count = 1;
+  cfg.pass_count = 2;
+  cfg.num_select_lines = 6;
+  netlist::Netlist nl = elaborate_srag(cfg);
+  sim::Simulator s(nl);
+  s.set("reset", true);
+  s.set("next", false);
+  s.step();
+  s.set("reset", false);
+  s.set("next", true);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_FALSE(s.get("sel[0]"));
+    EXPECT_FALSE(s.get("sel[2]"));
+    EXPECT_FALSE(s.get("sel[4]"));
+    EXPECT_FALSE(s.get("sel[5]"));
+    s.step();
+  }
+}
+
+TEST(SragElab, TwoDimensionalGeneratorReplaysTrace) {
+  // 8x8 motion estimation, 4x4 blocks: the full two-hot generator must walk
+  // the linear trace.
+  seq::MotionEstimationParams p;
+  p.img_width = p.img_height = 8;
+  p.mb_width = p.mb_height = 4;
+  p.m = 0;
+  const auto trace = seq::motion_estimation_read(p);
+
+  const auto rows = trace.rows();
+  const auto cols = trace.cols();
+  const auto rm = map_sequence(rows, 8);
+  const auto cm = map_sequence(cols, 8);
+  ASSERT_TRUE(rm.ok() && cm.ok());
+
+  netlist::Netlist nl = elaborate_srag_2d(*rm.config, *cm.config);
+  ASSERT_TRUE(nl.validate().empty());
+  sim::Simulator s(nl);
+  s.set("reset", true);
+  s.set("next", false);
+  s.step();
+  s.set("reset", false);
+  s.set("next", true);
+  for (std::size_t k = 0; k < trace.length(); ++k) {
+    const auto row = s.hot_index("rs");
+    const auto col = s.hot_index("cs");
+    ASSERT_TRUE(row && col) << "access " << k;
+    EXPECT_EQ(*row * 8 + *col, trace.linear()[k]) << "access " << k;
+    s.step();
+  }
+}
+
+TEST(SragElab, FlipFlopCountMatchesConfig) {
+  const auto cfg = figure5_config(1, 8);
+  netlist::Netlist nl = elaborate_srag(cfg);
+  const auto stats = nl.stats();
+  // 8 token flip-flops + 3 PassCnt counter bits (pC=8); dC=1 needs no DivCnt.
+  EXPECT_EQ(stats.num_seq, cfg.num_flipflops() + 3);
+}
+
+}  // namespace
+}  // namespace addm::core

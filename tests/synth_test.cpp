@@ -1,0 +1,342 @@
+// Tests for the RTL generators: counters (exhaustive behavior over widths,
+// moduli and carry styles), decoders (exhaustive, both styles), token rings,
+// and FSM synthesis (replay equivalence across encodings).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "netlist/builder.hpp"
+#include "sim/simulator.hpp"
+#include "synth/counter.hpp"
+#include "synth/decoder.hpp"
+#include "synth/fsm.hpp"
+#include "synth/shift.hpp"
+#include "tech/library.hpp"
+#include "tech/sta.hpp"
+
+namespace addm::synth {
+namespace {
+
+using netlist::kConst1;
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::NetlistBuilder;
+
+TEST(BitsFor, Values) {
+  EXPECT_EQ(bits_for(1), 1);
+  EXPECT_EQ(bits_for(2), 1);
+  EXPECT_EQ(bits_for(3), 2);
+  EXPECT_EQ(bits_for(4), 2);
+  EXPECT_EQ(bits_for(5), 3);
+  EXPECT_EQ(bits_for(256), 8);
+  EXPECT_EQ(bits_for(257), 9);
+}
+
+class CounterTest
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t, CarryStyle>> {};
+
+TEST_P(CounterTest, CountsAndWraps) {
+  const auto [bits, modulo, style] = GetParam();
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId en = b.input("en");
+  const NetId rst = b.input("rst");
+  CounterSpec spec{bits, modulo, style};
+  const auto ports = build_counter(b, spec, en, rst);
+  b.output_bus("q", ports.q);
+  b.output("wrap", ports.wrap);
+  ASSERT_TRUE(nl.validate().empty());
+
+  sim::Simulator s(nl);
+  s.set("en", true);
+  s.set("rst", false);
+  const std::uint64_t effective = modulo == 0 ? (std::uint64_t{1} << bits) : modulo;
+  std::uint64_t expect = 0;
+  for (std::uint64_t i = 0; i < 3 * effective + 2; ++i) {
+    EXPECT_EQ(s.get_bus("q"), expect) << "cycle " << i;
+    EXPECT_EQ(s.get("wrap"), expect == effective - 1);
+    s.step();
+    expect = (expect + 1) % effective;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CounterTest,
+    ::testing::Values(std::tuple{1, std::uint64_t{0}, CarryStyle::Ripple},
+                      std::tuple{2, std::uint64_t{0}, CarryStyle::Ripple},
+                      std::tuple{3, std::uint64_t{5}, CarryStyle::Ripple},
+                      std::tuple{4, std::uint64_t{0}, CarryStyle::Lookahead},
+                      std::tuple{4, std::uint64_t{10}, CarryStyle::Lookahead},
+                      std::tuple{5, std::uint64_t{17}, CarryStyle::Lookahead},
+                      std::tuple{6, std::uint64_t{0}, CarryStyle::Ripple},
+                      std::tuple{8, std::uint64_t{200}, CarryStyle::Lookahead}));
+
+TEST(Counter, EnableGates) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId en = b.input("en");
+  const auto ports = build_counter(b, CounterSpec{3, 0, CarryStyle::Ripple}, en, netlist::kConst0);
+  b.output_bus("q", ports.q);
+  sim::Simulator s(nl);
+  s.set("en", false);
+  s.run(5);
+  EXPECT_EQ(s.get_bus("q"), 0u);
+  s.set("en", true);
+  s.run(3);
+  EXPECT_EQ(s.get_bus("q"), 3u);
+  s.set("en", false);
+  s.run(4);
+  EXPECT_EQ(s.get_bus("q"), 3u);
+}
+
+TEST(Counter, ResetDominates) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId rst = b.input("rst");
+  const auto ports = build_counter(b, CounterSpec{4, 0, CarryStyle::Lookahead}, kConst1, rst);
+  b.output_bus("q", ports.q);
+  sim::Simulator s(nl);
+  s.set("rst", false);
+  s.run(6);
+  EXPECT_EQ(s.get_bus("q"), 6u);
+  s.set("rst", true);
+  s.step();
+  EXPECT_EQ(s.get_bus("q"), 0u);
+}
+
+TEST(Counter, LookaheadIsFasterAtWidth) {
+  const auto lib = tech::Library::generic_180nm();
+  auto delay_of = [&](CarryStyle style) {
+    Netlist nl;
+    NetlistBuilder b(nl);
+    const auto ports =
+        build_counter(b, CounterSpec{16, 0, style}, b.input("en"), b.input("rst"));
+    b.output_bus("q", ports.q);
+    return tech::analyze_timing(nl, lib).reg_to_reg_ns;
+  };
+  EXPECT_LT(delay_of(CarryStyle::Lookahead), delay_of(CarryStyle::Ripple));
+}
+
+TEST(Counter, RejectsBadSpecs) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  EXPECT_THROW(build_counter(b, CounterSpec{0, 0, CarryStyle::Ripple}, kConst1, kConst1),
+               std::invalid_argument);
+  EXPECT_THROW(build_counter(b, CounterSpec{2, 5, CarryStyle::Ripple}, kConst1, kConst1),
+               std::invalid_argument);
+  EXPECT_THROW(build_counter(b, CounterSpec{2, 1, CarryStyle::Ripple}, kConst1, kConst1),
+               std::invalid_argument);
+}
+
+class DecoderTest
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t, DecoderStyle>> {};
+
+TEST_P(DecoderTest, ExhaustiveOneHot) {
+  const auto [bits, outputs, style] = GetParam();
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const auto addr = b.input_bus("a", bits);
+  const auto outs = build_decoder(b, addr, outputs, kConst1, style);
+  b.output_bus("y", outs);
+  ASSERT_TRUE(nl.validate().empty());
+
+  sim::Simulator s(nl);
+  const std::size_t n_out = outs.size();
+  for (std::uint64_t a = 0; a < (std::uint64_t{1} << bits); ++a) {
+    s.set_bus("a", a);
+    s.eval();
+    if (a < n_out) {
+      EXPECT_EQ(s.hot_index("y"), a);
+    } else {
+      EXPECT_EQ(s.hot_count("y"), 0u);  // out-of-range addresses select nothing
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DecoderTest,
+    ::testing::Values(std::tuple{1, std::size_t{0}, DecoderStyle::SharedChain},
+                      std::tuple{2, std::size_t{0}, DecoderStyle::Flat},
+                      std::tuple{3, std::size_t{0}, DecoderStyle::SharedChain},
+                      std::tuple{3, std::size_t{5}, DecoderStyle::SharedChain},
+                      std::tuple{4, std::size_t{0}, DecoderStyle::Flat},
+                      std::tuple{4, std::size_t{12}, DecoderStyle::Flat},
+                      std::tuple{5, std::size_t{0}, DecoderStyle::SharedChain},
+                      std::tuple{6, std::size_t{0}, DecoderStyle::Flat}));
+
+TEST(Decoder, EnableGatesAllOutputs) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const auto addr = b.input_bus("a", 3);
+  const NetId en = b.input("en");
+  b.output_bus("y", build_decoder(b, addr, 0, en, DecoderStyle::SharedChain));
+  sim::Simulator s(nl);
+  s.set_bus("a", 5);
+  s.set("en", false);
+  s.eval();
+  EXPECT_EQ(s.hot_count("y"), 0u);
+  s.set("en", true);
+  s.eval();
+  EXPECT_EQ(s.hot_index("y"), 5u);
+}
+
+TEST(Decoder, SharedStyleIsSmaller) {
+  auto area_of = [&](DecoderStyle style) {
+    Netlist nl;
+    NetlistBuilder b(nl);
+    const auto addr = b.input_bus("a", 6);
+    b.output_bus("y", build_decoder(b, addr, 0, kConst1, style));
+    return tech::analyze_area(nl, tech::Library::generic_180nm()).total;
+  };
+  EXPECT_LT(area_of(DecoderStyle::SharedChain), area_of(DecoderStyle::Flat));
+}
+
+TEST(Decoder, RejectsBadArguments) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const auto addr = b.input_bus("a", 2);
+  EXPECT_THROW(build_decoder(b, {}, 0, kConst1, DecoderStyle::Flat),
+               std::invalid_argument);
+  EXPECT_THROW(build_decoder(b, addr, 5, kConst1, DecoderStyle::Flat),
+               std::invalid_argument);
+}
+
+class TokenRingTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TokenRingTest, TokenCirculates) {
+  const std::size_t n = GetParam();
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId en = b.input("en");
+  const NetId rst = b.input("rst");
+  b.output_bus("t", build_token_ring(b, n, en, rst));
+  ASSERT_TRUE(nl.validate().empty());
+
+  sim::Simulator s(nl);
+  s.set("rst", true);
+  s.set("en", false);
+  s.step();
+  s.set("rst", false);
+  s.set("en", true);
+  for (std::size_t i = 0; i < 3 * n; ++i) {
+    ASSERT_EQ(s.hot_index("t"), i % n) << "cycle " << i;
+    s.step();
+  }
+  // Disabled ring holds its token.
+  s.set("en", false);
+  const auto held = s.hot_index("t");
+  s.run(5);
+  EXPECT_EQ(s.hot_index("t"), held);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TokenRingTest, ::testing::Values(1u, 2u, 3u, 8u, 17u));
+
+struct FsmCase {
+  std::vector<std::uint32_t> next;
+  std::vector<std::uint32_t> select;
+  std::size_t lines;
+};
+
+class FsmTest : public ::testing::TestWithParam<std::tuple<FsmCase, FsmEncoding, bool>> {};
+
+TEST_P(FsmTest, ReplayMatchesSpec) {
+  const auto& [c, enc, flat] = GetParam();
+  FsmSpec spec;
+  spec.next_state = c.next;
+  spec.select_of_state = c.select;
+  spec.num_select_lines = c.lines;
+
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId en = b.input("en");
+  const NetId rst = b.input("rst");
+  const auto ports = build_fsm(b, spec, en, rst, FsmStyle{enc, flat});
+  b.output_bus("sel", ports.select);
+  ASSERT_TRUE(nl.validate().empty());
+
+  sim::Simulator s(nl);
+  s.set("rst", true);
+  s.set("en", false);
+  s.step();
+  s.set("rst", false);
+  s.set("en", true);
+  std::uint32_t state = 0;
+  for (std::size_t i = 0; i < 3 * c.next.size() + 2; ++i) {
+    ASSERT_EQ(s.hot_index("sel"), c.select[state]) << "cycle " << i;
+    s.step();
+    state = c.next[state];
+  }
+}
+
+const FsmCase kIncremental8{{1, 2, 3, 4, 5, 6, 7, 0}, {0, 1, 2, 3, 4, 5, 6, 7}, 8};
+const FsmCase kPermuted{{1, 2, 3, 0}, {2, 0, 3, 1}, 4};
+const FsmCase kNonPow2{{1, 2, 3, 4, 0}, {4, 3, 2, 1, 0}, 5};
+const FsmCase kSharedLine{{1, 2, 3, 0}, {0, 1, 0, 1}, 2};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FsmTest,
+    ::testing::Combine(::testing::Values(kIncremental8, kPermuted, kNonPow2, kSharedLine),
+                       ::testing::Values(FsmEncoding::Binary, FsmEncoding::Gray,
+                                         FsmEncoding::OneHot),
+                       ::testing::Bool()));
+
+TEST(Fsm, GrayCode) {
+  EXPECT_EQ(gray_code(0), 0u);
+  EXPECT_EQ(gray_code(1), 1u);
+  EXPECT_EQ(gray_code(2), 3u);
+  EXPECT_EQ(gray_code(3), 2u);
+  // Consecutive codes differ by one bit.
+  for (std::uint32_t i = 0; i < 63; ++i)
+    EXPECT_EQ(__builtin_popcount(gray_code(i) ^ gray_code(i + 1)), 1) << i;
+}
+
+TEST(Fsm, SpecValidation) {
+  FsmSpec bad;
+  EXPECT_THROW(bad.check(), std::invalid_argument);  // no states
+  bad.next_state = {0, 5};
+  bad.select_of_state = {0, 0};
+  bad.num_select_lines = 1;
+  EXPECT_THROW(bad.check(), std::invalid_argument);  // next out of range
+  bad.next_state = {1, 0};
+  bad.select_of_state = {0, 3};
+  EXPECT_THROW(bad.check(), std::invalid_argument);  // select out of range
+}
+
+TEST(Fsm, EnableFreezesMachine) {
+  FsmSpec spec;
+  spec.next_state = {1, 2, 0};
+  spec.select_of_state = {0, 1, 2};
+  spec.num_select_lines = 3;
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId en = b.input("en");
+  const NetId rst = b.input("rst");
+  b.output_bus("sel", build_fsm(b, spec, en, rst, {}).select);
+  sim::Simulator s(nl);
+  s.set("rst", true);
+  s.set("en", false);
+  s.step();
+  s.set("rst", false);
+  s.run(4);
+  EXPECT_EQ(s.hot_index("sel"), 0u);  // never advanced
+}
+
+TEST(Fsm, OneHotUsesOneFlopPerState) {
+  FsmSpec spec;
+  spec.next_state = {1, 2, 3, 4, 5, 0};
+  spec.select_of_state = {0, 1, 2, 3, 4, 5};
+  spec.num_select_lines = 6;
+  Netlist nl;
+  NetlistBuilder b(nl);
+  build_fsm(b, spec, b.input("en"), b.input("rst"), FsmStyle{FsmEncoding::OneHot, false});
+  EXPECT_EQ(nl.stats().num_seq, 6u);
+
+  Netlist nl2;
+  NetlistBuilder b2(nl2);
+  build_fsm(b2, spec, b2.input("en"), b2.input("rst"),
+            FsmStyle{FsmEncoding::Binary, false});
+  EXPECT_EQ(nl2.stats().num_seq, 3u);  // ceil(log2 6)
+}
+
+}  // namespace
+}  // namespace addm::synth

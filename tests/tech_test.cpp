@@ -1,0 +1,261 @@
+// Unit tests for the technology layer: library sanity, static timing
+// analysis on hand-checked circuits, buffer-tree insertion (fanout bound,
+// functional equivalence) and the activity-based power estimate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "netlist/builder.hpp"
+#include "sim/simulator.hpp"
+#include "tech/buffering.hpp"
+#include "tech/library.hpp"
+#include "tech/power.hpp"
+#include "tech/sta.hpp"
+
+namespace addm::tech {
+namespace {
+
+using netlist::CellType;
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::NetlistBuilder;
+
+TEST(Library, Generic180nmIsPopulated) {
+  const Library lib = Library::generic_180nm();
+  for (int t = 0; t < netlist::kNumCellTypes; ++t) {
+    const auto& p = lib.params(static_cast<CellType>(t));
+    EXPECT_GT(p.area, 0.0) << "cell " << t;
+    if (is_sequential(static_cast<CellType>(t))) {
+      EXPECT_GT(p.clk_to_q, 0.0);
+      EXPECT_GT(p.setup, 0.0);
+    } else {
+      EXPECT_GT(p.intrinsic, 0.0);
+    }
+  }
+  // Flip-flops with more control pins must not be smaller.
+  EXPECT_GE(lib.params(CellType::DffER).area, lib.params(CellType::DffE).area);
+  EXPECT_GE(lib.params(CellType::DffE).area, lib.params(CellType::Dff).area);
+}
+
+TEST(Sta, PureCombinationalPath) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId a = b.input("a");
+  const NetId c = b.input("c");
+  const NetId y = b.and2(a, c);
+  b.output("y", y);
+
+  Library lib = Library::generic_180nm();
+  lib.wire_delay_per_fanout = 0.0;
+  const auto t = analyze_timing(nl, lib);
+  const auto& p = lib.params(CellType::And2);
+  // One AND2 stage driving one primary-output load.
+  EXPECT_NEAR(t.input_to_output_ns, p.intrinsic + p.slope * 1.0, 1e-9);
+  EXPECT_EQ(t.reg_to_reg_ns, 0.0);
+  EXPECT_NEAR(t.critical_path_ns, t.input_to_output_ns, 1e-9);
+}
+
+TEST(Sta, RegisterToRegisterPath) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId d = b.input("d");
+  const NetId q1 = b.dff(d);
+  const NetId inv = b.inv(q1);
+  const NetId q2 = b.dff(inv);
+  b.output("q", q2);
+
+  Library lib = Library::generic_180nm();
+  lib.wire_delay_per_fanout = 0.0;
+  const auto t = analyze_timing(nl, lib);
+  const auto& dff = lib.params(CellType::Dff);
+  const auto& invp = lib.params(CellType::Inv);
+  const double expect = (dff.clk_to_q + dff.slope * 1.0)  // q1 drives inv
+                        + (invp.intrinsic + invp.slope * 1.0)  // inv drives q2.D
+                        + dff.setup;
+  EXPECT_NEAR(t.reg_to_reg_ns, expect, 1e-9);
+  // clk->output path: q2 drives the PO.
+  EXPECT_NEAR(t.clk_to_output_ns, dff.clk_to_q + dff.slope * 1.0, 1e-9);
+}
+
+TEST(Sta, DeeperPathIsSlower) {
+  const Library lib = Library::generic_180nm();
+  auto chain_delay = [&](int depth) {
+    Netlist nl;
+    NetlistBuilder b(nl);
+    b.set_sharing(false);
+    NetId x = b.input("a");
+    const NetId c = b.input("c");
+    for (int i = 0; i < depth; ++i) x = b.and2(x, c);
+    b.output("y", x);
+    return analyze_timing(nl, lib).critical_path_ns;
+  };
+  EXPECT_LT(chain_delay(2), chain_delay(4));
+  EXPECT_LT(chain_delay(4), chain_delay(8));
+}
+
+TEST(Sta, FanoutLoadIncreasesDelay) {
+  const Library lib = Library::generic_180nm();
+  auto delay_with_loads = [&](int loads) {
+    Netlist nl;
+    NetlistBuilder b(nl);
+    b.set_sharing(false);
+    const NetId a = b.input("a");
+    const NetId c = b.input("c");
+    const NetId x = b.and2(a, c);
+    for (int i = 0; i < loads; ++i) b.output("y" + std::to_string(i), b.inv(x));
+    return analyze_timing(nl, lib).critical_path_ns;
+  };
+  EXPECT_LT(delay_with_loads(1), delay_with_loads(16));
+}
+
+TEST(Sta, CriticalNetsTraceEndsAtEndpoint) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId a = b.input("a");
+  const NetId y = b.inv(b.inv(a));
+  b.output("y", y);
+  const auto t = analyze_timing(nl, Library::generic_180nm());
+  ASSERT_FALSE(t.critical_nets.empty());
+  EXPECT_EQ(t.critical_nets.back(), y);
+}
+
+TEST(Sta, ThrowsOnCombinationalLoop) {
+  Netlist nl;
+  const NetId a = nl.new_net();
+  const NetId y = nl.new_net();
+  nl.add_cell(CellType::Inv, {a}, y);
+  nl.add_cell(CellType::Inv, {y}, a);
+  EXPECT_THROW(analyze_timing(nl, Library::generic_180nm()), std::invalid_argument);
+}
+
+TEST(Area, SumsCellAreas) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  b.set_sharing(false);
+  const NetId a = b.input("a");
+  const NetId c = b.input("c");
+  b.output("y0", b.and2(a, c));
+  b.output("y1", b.or2(a, c));
+  const Library lib = Library::generic_180nm();
+  const auto area = analyze_area(nl, lib);
+  EXPECT_EQ(area.cells, 2u);
+  EXPECT_NEAR(area.total,
+              lib.params(CellType::And2).area + lib.params(CellType::Or2).area, 1e-9);
+  EXPECT_NEAR(area.of(CellType::And2), lib.params(CellType::And2).area, 1e-9);
+}
+
+TEST(Buffering, EnforcesMaxFanout) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId a = b.input("a");
+  for (int i = 0; i < 100; ++i) b.output("y" + std::to_string(i), b.dff(a));
+  const auto stats = insert_buffers(nl, 8);
+  EXPECT_GT(stats.buffers_added, 0u);
+  const auto fo = nl.fanout_counts();
+  for (netlist::NetId n = 2; n < nl.num_nets(); ++n) EXPECT_LE(fo[n], 8u) << "net " << n;
+  EXPECT_TRUE(nl.validate().empty());
+}
+
+TEST(Buffering, PreservesFunction) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId a = b.input("a");
+  const NetId c = b.input("c");
+  std::vector<NetId> outs;
+  for (int i = 0; i < 40; ++i) outs.push_back(b.xor2(a, c));  // shared, high fanout on a/c
+  b.set_sharing(false);
+  for (int i = 0; i < 40; ++i) outs.push_back(b.and2(a, c));
+  b.output_bus("y", outs);
+
+  Netlist buffered = nl;  // copy before buffering
+  insert_buffers(buffered, 4);
+
+  sim::Simulator s0(nl), s1(buffered);
+  for (int av = 0; av <= 1; ++av)
+    for (int cv = 0; cv <= 1; ++cv) {
+      s0.set("a", av);
+      s0.set("c", cv);
+      s0.eval();
+      s1.set("a", av);
+      s1.set("c", cv);
+      s1.eval();
+      for (std::size_t i = 0; i < outs.size(); ++i) {
+        const std::string name = "y[" + std::to_string(i) + "]";
+        EXPECT_EQ(s0.get(name), s1.get(name)) << name;
+      }
+    }
+}
+
+TEST(Buffering, ReducesDelayOnHighFanoutNets) {
+  const Library lib = Library::generic_180nm();
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId a = b.input("a");
+  b.set_sharing(false);
+  for (int i = 0; i < 200; ++i) b.output("y" + std::to_string(i), b.inv(a));
+  const double before = analyze_timing(nl, lib).critical_path_ns;
+  insert_buffers(nl, 12);
+  const double after = analyze_timing(nl, lib).critical_path_ns;
+  EXPECT_LT(after, before);
+}
+
+TEST(Buffering, RejectsTinyMaxFanout) {
+  Netlist nl;
+  EXPECT_THROW(insert_buffers(nl, 1), std::invalid_argument);
+}
+
+TEST(Buffering, NoOpOnSmallNets) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId a = b.input("a");
+  b.output("y", b.inv(a));
+  const auto stats = insert_buffers(nl, 12);
+  EXPECT_EQ(stats.buffers_added, 0u);
+  EXPECT_EQ(stats.nets_repaired, 0u);
+}
+
+TEST(Power, TogglingCircuitDissipates) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId q = nl.new_net();
+  nl.add_cell(CellType::Dff, {b.inv(q)}, q);
+  nl.add_output("q", q);
+
+  sim::Simulator s(nl);
+  s.enable_toggle_counting();
+  s.run(100);
+
+  const Library lib = Library::generic_180nm();
+  const auto p = estimate_power(nl, lib, s.toggles(), 100.0 * 2.0 /*ns*/);
+  EXPECT_GT(p.total_energy_pj, 0.0);
+  EXPECT_GT(p.avg_power_mw, 0.0);
+  EXPECT_EQ(p.total_toggles, 200u);  // q and its inverter, 100 each
+}
+
+TEST(Power, IdleCircuitDissipatesNothing) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId d = b.input("d");
+  b.output("q", b.dff(d));
+  sim::Simulator s(nl);
+  s.enable_toggle_counting();
+  s.set("d", false);
+  s.run(50);
+  const auto p = estimate_power(nl, Library::generic_180nm(), s.toggles(), 100.0);
+  EXPECT_EQ(p.total_energy_pj, 0.0);
+}
+
+TEST(Power, ValidatesArguments) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  b.output("y", b.inv(b.input("a")));
+  std::vector<std::uint64_t> short_vec(1, 0);
+  EXPECT_THROW(estimate_power(nl, Library::generic_180nm(), short_vec, 1.0),
+               std::invalid_argument);
+  std::vector<std::uint64_t> ok(nl.num_nets(), 0);
+  EXPECT_THROW(estimate_power(nl, Library::generic_180nm(), ok, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace addm::tech

@@ -1,0 +1,57 @@
+// Tests for the self-checking Verilog testbench emitter.
+#include <gtest/gtest.h>
+
+#include "codegen/testbench.hpp"
+#include "core/srag_mapper.hpp"
+
+namespace addm::codegen {
+namespace {
+
+core::SragConfig demo_config() {
+  core::SragConfig cfg;
+  cfg.registers = {{2, 0, 1}};
+  cfg.div_count = 1;
+  cfg.pass_count = 3;
+  cfg.num_select_lines = 3;
+  return cfg;
+}
+
+TEST(TestbenchGen, StructureAndExpectations) {
+  const std::vector<std::uint32_t> expected{2, 0, 1, 2, 0, 1};
+  const std::string tb = srag_verilog_testbench(demo_config(), expected, "rowgen");
+  EXPECT_NE(tb.find("module rowgen_tb;"), std::string::npos);
+  EXPECT_NE(tb.find("rowgen dut (.clk(clk), .next(next), .reset(reset)"),
+            std::string::npos);
+  EXPECT_NE(tb.find(".sel_0(sel_0)"), std::string::npos);
+  EXPECT_NE(tb.find(".sel_2(sel_2)"), std::string::npos);
+  // One-hot expectation literals, MSB-first binary strings.
+  EXPECT_NE(tb.find("expected[0] = 3'b100;"), std::string::npos);  // address 2
+  EXPECT_NE(tb.find("expected[1] = 3'b001;"), std::string::npos);  // address 0
+  EXPECT_NE(tb.find("expected[5] = 3'b010;"), std::string::npos);  // address 1
+  EXPECT_NE(tb.find("$finish;"), std::string::npos);
+  EXPECT_NE(tb.find("PASS"), std::string::npos);
+}
+
+TEST(TestbenchGen, Deterministic) {
+  const std::vector<std::uint32_t> expected{2, 0, 1};
+  EXPECT_EQ(srag_verilog_testbench(demo_config(), expected, "m"),
+            srag_verilog_testbench(demo_config(), expected, "m"));
+}
+
+TEST(TestbenchGen, ValidatesArguments) {
+  EXPECT_THROW(srag_verilog_testbench(demo_config(), {}, "m"), std::invalid_argument);
+  const std::vector<std::uint32_t> bad{7};
+  EXPECT_THROW(srag_verilog_testbench(demo_config(), bad, "m"), std::invalid_argument);
+}
+
+TEST(TestbenchGen, EndToEndFromMapper) {
+  const std::vector<std::uint32_t> I{0, 0, 1, 1, 0, 0, 1, 1, 2, 2, 3, 3, 2, 2, 3, 3};
+  const auto r = core::map_sequence(I, 4);
+  ASSERT_TRUE(r.ok());
+  const std::string tb = srag_verilog_testbench(*r.config, I, "rowgen");
+  EXPECT_NE(tb.find("expected[15]"), std::string::npos);
+  EXPECT_EQ(tb.find("expected[16]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace addm::codegen

@@ -1,0 +1,85 @@
+// Tests for address-trace text serialization: round trips, format features
+// (comments, multi-line, name), and line-numbered error diagnostics.
+#include <gtest/gtest.h>
+
+#include "seq/trace_io.hpp"
+#include "seq/workloads.hpp"
+
+namespace addm::seq {
+namespace {
+
+TEST(TraceIo, RoundTripMotionEstimation) {
+  MotionEstimationParams p;
+  p.img_width = p.img_height = 8;
+  p.mb_width = p.mb_height = 4;
+  p.m = 0;
+  const auto original = motion_estimation_read(p);
+  const auto text = write_trace_string(original);
+  const auto parsed = read_trace_string(text);
+  EXPECT_EQ(parsed.linear(), original.linear());
+  EXPECT_EQ(parsed.geometry(), original.geometry());
+  EXPECT_EQ(parsed.name(), original.name());
+}
+
+TEST(TraceIo, ParsesCommentsAndLayout) {
+  const auto t = read_trace_string(
+      "# header comment\n"
+      "geometry 4 4   # inline comment\n"
+      "name demo\n"
+      "0 1\n"
+      "\n"
+      "4 5 # trailing comment\n");
+  EXPECT_EQ(t.geometry(), (ArrayGeometry{4, 4}));
+  EXPECT_EQ(t.name(), "demo");
+  EXPECT_EQ(t.linear(), (std::vector<std::uint32_t>{0, 1, 4, 5}));
+}
+
+TEST(TraceIo, ErrorsCarryLineNumbers) {
+  try {
+    read_trace_string("geometry 4 4\n0 1\nbogus\n");
+    FAIL() << "expected parse failure";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+  }
+}
+
+TEST(TraceIo, RejectsMissingGeometry) {
+  EXPECT_THROW(read_trace_string("0 1 2\n"), std::invalid_argument);
+  EXPECT_THROW(read_trace_string("# nothing\n"), std::invalid_argument);
+}
+
+TEST(TraceIo, RejectsDuplicateGeometry) {
+  EXPECT_THROW(read_trace_string("geometry 2 2\ngeometry 2 2\n0\n"),
+               std::invalid_argument);
+}
+
+TEST(TraceIo, RejectsBadGeometry) {
+  EXPECT_THROW(read_trace_string("geometry 0 4\n0\n"), std::invalid_argument);
+  EXPECT_THROW(read_trace_string("geometry 4\n0\n"), std::invalid_argument);
+  EXPECT_THROW(read_trace_string("geometry 4 4 9\n0\n"), std::invalid_argument);
+}
+
+TEST(TraceIo, RejectsOutOfRangeAddress) {
+  try {
+    read_trace_string("geometry 2 2\n0 4\n");
+    FAIL() << "expected parse failure";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("outside"), std::string::npos);
+  }
+}
+
+TEST(TraceIo, RejectsEmptyTrace) {
+  EXPECT_THROW(read_trace_string("geometry 2 2\n"), std::invalid_argument);
+}
+
+TEST(TraceIo, WriterWrapsLines) {
+  const auto t = incremental({8, 8});
+  const auto text = write_trace_string(t);
+  // 64 addresses at 16 per line -> at least 4 address lines.
+  std::size_t lines = 0;
+  for (char c : text) lines += (c == '\n');
+  EXPECT_GE(lines, 6u);  // header + geometry + name + 4 data lines
+}
+
+}  // namespace
+}  // namespace addm::seq
