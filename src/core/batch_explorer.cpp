@@ -1,0 +1,259 @@
+#include "core/batch_explorer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/fingerprint.hpp"
+#include "core/thread_pool.hpp"
+
+namespace addm::core {
+
+namespace {
+
+/// What one exploration produces. Cache entries and racing waiters share one
+/// immutable Outcome (recompute avoidance); each BatchEntry then takes its
+/// own copy of the vectors, keeping the public result type plain-value.
+struct Outcome {
+  std::vector<DesignPoint> points;
+  std::vector<std::size_t> pareto;
+  std::string error;
+};
+
+std::shared_ptr<const Outcome> evaluate_trace(const seq::AddressTrace& trace,
+                                              const ExploreOptions& opt) {
+  auto out = std::make_shared<Outcome>();
+  try {
+    out->points = explore_generators(trace, opt);
+    out->pareto = pareto_front(out->points);
+  } catch (const std::exception& e) {
+    out->points.clear();
+    out->pareto.clear();
+    out->error = e.what();
+  }
+  return out;
+}
+
+std::string fixed6(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  return buf;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string csv_quote(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string q = "\"";
+  for (char c : s) {
+    if (c == '"') q += '"';
+    q += c;
+  }
+  q += '"';
+  return q;
+}
+
+std::string json_quote(const std::string& s) {
+  std::string q = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': q += "\\\""; break;
+      case '\\': q += "\\\\"; break;
+      case '\n': q += "\\n"; break;
+      case '\t': q += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          q += buf;
+        } else {
+          q += c;
+        }
+    }
+  }
+  q += '"';
+  return q;
+}
+
+}  // namespace
+
+struct BatchExplorer::Impl {
+  std::mutex mu;
+  /// Keyed by (trace fingerprint ^ rotated options fingerprint). The mapped
+  /// shared_future lets a second worker that races on the same trace block
+  /// on the first evaluation instead of recomputing it.
+  std::unordered_map<std::uint64_t, std::shared_future<std::shared_ptr<const Outcome>>> cache;
+};
+
+BatchExplorer::BatchExplorer(BatchOptions opt) : opt_(std::move(opt)), impl_(new Impl) {}
+
+BatchExplorer::~BatchExplorer() { delete impl_; }
+
+std::size_t BatchExplorer::cache_size() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  return impl_->cache.size();
+}
+
+void BatchExplorer::clear_cache() {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  impl_->cache.clear();
+}
+
+BatchResult BatchExplorer::run(const std::vector<seq::AddressTrace>& traces) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t opt_fp = options_fingerprint(opt_.explore);
+
+  BatchResult result;
+  result.traces = traces.size();
+  result.entries.resize(traces.size());
+
+  std::mutex stats_mu;
+  std::size_t evaluations = 0;
+  std::size_t cache_hits = 0;
+
+  auto work = [&](std::size_t i) {
+    const seq::AddressTrace& trace = traces[i];
+    BatchEntry& entry = result.entries[i];
+    entry.name = trace.name().empty() ? "trace" + std::to_string(i) : trace.name();
+    entry.geometry = trace.geometry();
+    entry.trace_length = trace.length();
+    entry.trace_hash = trace_fingerprint(trace);
+    const std::uint64_t key =
+        entry.trace_hash ^ (opt_fp << 1 | opt_fp >> 63);
+
+    std::shared_ptr<const Outcome> outcome;
+    if (!opt_.memoize) {
+      outcome = evaluate_trace(trace, opt_.explore);
+      std::lock_guard<std::mutex> lk(stats_mu);
+      ++evaluations;
+    } else {
+      std::promise<std::shared_ptr<const Outcome>> promise;
+      std::shared_future<std::shared_ptr<const Outcome>> future;
+      bool owner = false;
+      {
+        std::lock_guard<std::mutex> lk(impl_->mu);
+        auto [it, inserted] = impl_->cache.try_emplace(key);
+        if (inserted) {
+          it->second = promise.get_future().share();
+          owner = true;
+        }
+        future = it->second;
+      }
+      if (owner) {
+        promise.set_value(evaluate_trace(trace, opt_.explore));
+        std::lock_guard<std::mutex> lk(stats_mu);
+        ++evaluations;
+      } else {
+        std::lock_guard<std::mutex> lk(stats_mu);
+        ++cache_hits;
+      }
+      outcome = future.get();
+    }
+
+    entry.points = outcome->points;
+    entry.pareto = outcome->pareto;
+    entry.error = outcome->error;
+  };
+
+  ThreadPool pool(opt_.threads);
+  pool.parallel_for(traces.size(), work);
+
+  result.evaluations = evaluations;
+  result.cache_hits = cache_hits;
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return result;
+}
+
+std::string batch_report_csv(const BatchResult& result) {
+  std::ostringstream os;
+  os << "trace,width,height,length,trace_hash,architecture,feasible,pareto,"
+        "area_units,delay_ns,clk_to_out_ns,reg_to_reg_ns,cells,flipflops,"
+        "buffers_added,note\n";
+  for (const BatchEntry& e : result.entries) {
+    const std::string prefix = csv_quote(e.name) + "," + std::to_string(e.geometry.width) +
+                               "," + std::to_string(e.geometry.height) + "," +
+                               std::to_string(e.trace_length) + "," + hex64(e.trace_hash);
+    if (!e.error.empty()) {
+      os << prefix << ",,error,,,,,,,,," << csv_quote(e.error) << "\n";
+      continue;
+    }
+    for (std::size_t i = 0; i < e.points.size(); ++i) {
+      const DesignPoint& p = e.points[i];
+      const bool on_front =
+          std::find(e.pareto.begin(), e.pareto.end(), i) != e.pareto.end();
+      os << prefix << "," << csv_quote(p.architecture) << ","
+         << (p.feasible ? "yes" : "no") << "," << (on_front ? "yes" : "no") << ",";
+      if (p.feasible) {
+        os << fixed6(p.metrics.area_units) << "," << fixed6(p.metrics.delay_ns) << ","
+           << fixed6(p.metrics.clk_to_out_ns) << "," << fixed6(p.metrics.reg_to_reg_ns)
+           << "," << p.metrics.cells << "," << p.metrics.flipflops << ","
+           << p.metrics.buffers_added;
+      } else {
+        os << ",,,,,,";
+      }
+      os << "," << csv_quote(p.note) << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string batch_report_json(const BatchResult& result) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"summary\": {\"traces\": " << result.traces
+     << ", \"evaluations\": " << result.evaluations
+     << ", \"cache_hits\": " << result.cache_hits << "},\n";
+  os << "  \"traces\": [\n";
+  for (std::size_t t = 0; t < result.entries.size(); ++t) {
+    const BatchEntry& e = result.entries[t];
+    os << "    {\n";
+    os << "      \"name\": " << json_quote(e.name) << ",\n";
+    os << "      \"geometry\": [" << e.geometry.width << ", " << e.geometry.height
+       << "],\n";
+    os << "      \"length\": " << e.trace_length << ",\n";
+    os << "      \"trace_hash\": \"" << hex64(e.trace_hash) << "\",\n";
+    if (!e.error.empty()) {
+      os << "      \"error\": " << json_quote(e.error) << "\n";
+    } else {
+      os << "      \"pareto\": [";
+      for (std::size_t i = 0; i < e.pareto.size(); ++i)
+        os << (i ? ", " : "") << e.pareto[i];
+      os << "],\n";
+      os << "      \"points\": [\n";
+      for (std::size_t i = 0; i < e.points.size(); ++i) {
+        const DesignPoint& p = e.points[i];
+        os << "        {\"architecture\": " << json_quote(p.architecture)
+           << ", \"feasible\": " << (p.feasible ? "true" : "false");
+        if (p.feasible) {
+          os << ", \"area_units\": " << fixed6(p.metrics.area_units)
+             << ", \"delay_ns\": " << fixed6(p.metrics.delay_ns)
+             << ", \"clk_to_out_ns\": " << fixed6(p.metrics.clk_to_out_ns)
+             << ", \"reg_to_reg_ns\": " << fixed6(p.metrics.reg_to_reg_ns)
+             << ", \"cells\": " << p.metrics.cells
+             << ", \"flipflops\": " << p.metrics.flipflops
+             << ", \"buffers_added\": " << p.metrics.buffers_added;
+        }
+        os << ", \"note\": " << json_quote(p.note) << "}"
+           << (i + 1 < e.points.size() ? ",\n" : "\n");
+      }
+      os << "      ]\n";
+    }
+    os << "    }" << (t + 1 < result.entries.size() ? ",\n" : "\n");
+  }
+  os << "  ]\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace addm::core

@@ -1,0 +1,81 @@
+// Batch design-space exploration: run explore_generators over a whole suite
+// of address traces concurrently, aggregate per-trace Pareto fronts, and
+// memoize repeated (trace, options) evaluations.
+//
+// Determinism contract: for a fixed input trace list and options, the
+// BatchResult entries — and therefore batch_report_csv / batch_report_json —
+// are byte-identical regardless of thread count or scheduling. Entries are
+// ordered by input position; nothing schedule-dependent (timings, worker
+// ids) enters the report. Cache statistics are deterministic too: duplicate
+// traces are evaluated exactly once however the workers interleave.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/explorer.hpp"
+#include "seq/trace.hpp"
+
+namespace addm::core {
+
+struct BatchOptions {
+  ExploreOptions explore;
+  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  std::size_t threads = 0;
+  /// Reuse results across identical (trace, options) pairs, including across
+  /// successive run() calls on the same BatchExplorer.
+  bool memoize = true;
+};
+
+struct BatchEntry {
+  std::string name;             ///< trace name (or "trace<N>" when unnamed)
+  seq::ArrayGeometry geometry;
+  std::size_t trace_length = 0;
+  std::uint64_t trace_hash = 0;  ///< trace_fingerprint of the input
+  std::vector<DesignPoint> points;
+  std::vector<std::size_t> pareto;  ///< indices into `points`
+  std::string error;  ///< non-empty iff exploration threw for this trace
+};
+
+struct BatchResult {
+  std::vector<BatchEntry> entries;  ///< one per input trace, input order
+  std::size_t traces = 0;
+  std::size_t evaluations = 0;  ///< explorations actually executed
+  std::size_t cache_hits = 0;   ///< traces served from the memo table
+  double wall_seconds = 0.0;    ///< not part of any serialized report
+};
+
+class BatchExplorer {
+ public:
+  explicit BatchExplorer(BatchOptions opt = {});
+  ~BatchExplorer();
+  BatchExplorer(const BatchExplorer&) = delete;
+  BatchExplorer& operator=(const BatchExplorer&) = delete;
+
+  const BatchOptions& options() const { return opt_; }
+
+  /// Explores every trace. Thread-safe with respect to the internal cache;
+  /// not reentrant (one run() at a time per BatchExplorer).
+  BatchResult run(const std::vector<seq::AddressTrace>& traces);
+
+  std::size_t cache_size() const;
+  void clear_cache();
+
+ private:
+  struct Impl;
+  BatchOptions opt_;
+  Impl* impl_;
+};
+
+/// CSV report: header + one row per (trace, design point). Fixed numeric
+/// formatting; fields containing separators are quoted. Byte-identical for
+/// identical BatchResult entries.
+std::string batch_report_csv(const BatchResult& result);
+
+/// JSON report mirroring the CSV plus a summary object (trace counts,
+/// evaluations, cache hits). Deterministic field order and formatting.
+std::string batch_report_json(const BatchResult& result);
+
+}  // namespace addm::core

@@ -1,0 +1,61 @@
+// Stable 64-bit fingerprints for memoizing design-space evaluations.
+//
+// The batch explorer keys its cache on (trace fingerprint, options
+// fingerprint): two traces with the same geometry and address sequence hash
+// identically regardless of their names, and two option sets hash identically
+// iff every field that influences explore_generators' output matches
+// (technology library parameters included).
+//
+// The hash is FNV-1a over a canonical little-endian byte stream, so values
+// are stable across runs and platforms of equal endianness — good enough for
+// an in-process cache and for labeling report rows.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+#include "core/explorer.hpp"
+#include "seq/trace.hpp"
+
+namespace addm::core {
+
+/// Streaming FNV-1a (64-bit).
+class Fnv1a64 {
+ public:
+  void bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h_ ^= p[i];
+      h_ *= 0x100000001b3ull;
+    }
+  }
+  void u64(std::uint64_t v) {
+    unsigned char b[8];
+    for (int i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+    bytes(b, 8);
+  }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  void str(std::string_view s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+  std::uint64_t digest() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ull;
+};
+
+/// Hash of geometry + linear address sequence. The trace name is excluded on
+/// purpose: renamed copies of the same access pattern are cache hits.
+std::uint64_t trace_fingerprint(const seq::AddressTrace& trace);
+
+/// Hash of every ExploreOptions field that affects exploration results,
+/// including the full technology library (per-cell area/timing parameters).
+std::uint64_t options_fingerprint(const ExploreOptions& opt);
+
+}  // namespace addm::core

@@ -29,6 +29,9 @@ class AddressTrace {
 
   const ArrayGeometry& geometry() const { return geom_; }
   const std::string& name() const { return name_; }
+  /// Renames in place (e.g. to disambiguate suite variants); addresses and
+  /// geometry — and thus the trace fingerprint — are unaffected.
+  void set_name(std::string name) { name_ = std::move(name); }
   std::size_t length() const { return linear_.size(); }
   bool empty() const { return linear_.empty(); }
 

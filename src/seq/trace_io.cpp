@@ -1,5 +1,6 @@
 #include "seq/trace_io.hpp"
 
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 
@@ -84,6 +85,20 @@ std::string write_trace_string(const AddressTrace& trace) {
   std::ostringstream os;
   write_trace(os, trace);
   return os.str();
+}
+
+AddressTrace read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open trace file: " + path);
+  return read_trace(in);
+}
+
+void write_trace_file(const std::string& path, const AddressTrace& trace) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open trace file for writing: " + path);
+  write_trace(out, trace);
+  out.flush();
+  if (!out) throw std::runtime_error("error writing trace file: " + path);
 }
 
 }  // namespace addm::seq

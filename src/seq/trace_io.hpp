@@ -27,4 +27,10 @@ AddressTrace read_trace_string(const std::string& text);
 void write_trace(std::ostream& out, const AddressTrace& trace);
 std::string write_trace_string(const AddressTrace& trace);
 
+/// File convenience wrappers. Throw std::runtime_error when the file cannot
+/// be opened (message includes the path); parse errors propagate as
+/// std::invalid_argument from read_trace.
+AddressTrace read_trace_file(const std::string& path);
+void write_trace_file(const std::string& path, const AddressTrace& trace);
+
 }  // namespace addm::seq

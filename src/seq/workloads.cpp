@@ -1,6 +1,8 @@
 #include "seq/workloads.hpp"
 #include <algorithm>
 
+#include <iterator>
+#include <numeric>
 #include <stdexcept>
 
 namespace addm::seq {
@@ -119,6 +121,57 @@ AddressTrace repeat_each(const AddressTrace& t, std::size_t repeat) {
   for (std::uint32_t x : t.linear())
     for (std::size_t r = 0; r < repeat; ++r) a.push_back(x);
   return AddressTrace(t.geometry(), std::move(a), t.name() + "_x" + std::to_string(repeat));
+}
+
+std::vector<AddressTrace> standard_suite(ArrayGeometry g) {
+  if (g.width < 4 || g.height < 4 || g.width % 2 != 0 || g.height % 2 != 0)
+    throw std::invalid_argument(
+        "standard_suite: geometry must be even and at least 4x4");
+  const std::string suffix =
+      "_" + std::to_string(g.width) + "x" + std::to_string(g.height);
+
+  std::vector<AddressTrace> suite;
+  MotionEstimationParams me;
+  me.img_width = g.width;
+  me.img_height = g.height;
+  me.mb_width = g.width / 2;
+  me.mb_height = g.height / 2;
+  me.m = 0;
+  suite.push_back(motion_estimation_read(me));
+  suite.push_back(incremental(g));
+  // Largest power-of-two block that tiles both dimensions, capped at 8 (the
+  // JPEG/DCT block size the paper's workloads assume).
+  std::size_t block = 1;
+  while (block < 8 && g.width % (2 * block) == 0 && g.height % (2 * block) == 0)
+    block *= 2;
+  suite.push_back(dct_block_column_read(g, block));
+  suite.push_back(zoom_by_two_read(g));
+  suite.push_back(transpose_read(g));
+  suite.push_back(block_raster(g, g.width / 2, g.height / 2));
+  // Smallest stride > width that is coprime with the array size, so the
+  // strided pattern visits every address exactly once.
+  std::size_t stride = g.width + 1;
+  while (std::gcd(stride, g.size()) != 1) ++stride;
+  suite.push_back(strided(g, stride));
+  suite.push_back(zigzag(g));
+  suite.push_back(repeat_each(incremental(g), 2));
+
+  for (AddressTrace& t : suite) t.set_name(t.name() + suffix);
+  return suite;
+}
+
+std::vector<AddressTrace> scaled_suite(ArrayGeometry base, std::size_t scales) {
+  std::vector<AddressTrace> all;
+  ArrayGeometry g = base;
+  for (std::size_t s = 0; s < scales; ++s) {
+    auto suite = standard_suite(g);
+    std::move(suite.begin(), suite.end(), std::back_inserter(all));
+    if (s % 2 == 0)
+      g.width *= 2;
+    else
+      g.height *= 2;
+  }
+  return all;
 }
 
 }  // namespace addm::seq

@@ -62,4 +62,19 @@ AddressTrace zigzag(ArrayGeometry g);
 /// Each address repeated `repeat` times consecutively.
 AddressTrace repeat_each(const AddressTrace& t, std::size_t repeat);
 
+/// The standard workload suite: one instance of every generator above on the
+/// given geometry (motion estimation uses a macroblock tiling derived from
+/// `g`; block patterns use blocks that divide the geometry). Trace names are
+/// suffixed with "_<width>x<height>" so suites over several geometries can
+/// be mixed in one batch without name collisions.
+///
+/// Requires an even width/height of at least 4 so every pattern applies;
+/// throws std::invalid_argument otherwise.
+std::vector<AddressTrace> standard_suite(ArrayGeometry g);
+
+/// standard_suite over `scales` doubling geometries starting at `base`
+/// (base, then 2x width, then 2x height, alternating) — the batch
+/// explorer's stock multi-trace workload.
+std::vector<AddressTrace> scaled_suite(ArrayGeometry base, std::size_t scales);
+
 }  // namespace addm::seq

@@ -135,5 +135,23 @@ TEST(Explorer, SragBeatsCntAgOnDelayForBlockAccess) {
   EXPECT_GT(srag->metrics.area_units, cnt->metrics.area_units);
 }
 
+TEST(Explorer, DeterministicAcrossCalls) {
+  // The batch explorer's byte-identical-report contract rests on
+  // explore_generators being a pure function of (trace, options).
+  const auto trace = seq::transpose_read({8, 8});
+  const auto a = explore_generators(trace);
+  const auto b = explore_generators(trace);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].architecture, b[i].architecture);
+    EXPECT_EQ(a[i].feasible, b[i].feasible);
+    EXPECT_EQ(a[i].note, b[i].note);
+    EXPECT_EQ(a[i].metrics.area_units, b[i].metrics.area_units);
+    EXPECT_EQ(a[i].metrics.delay_ns, b[i].metrics.delay_ns);
+    EXPECT_EQ(a[i].metrics.cells, b[i].metrics.cells);
+  }
+  EXPECT_EQ(pareto_front(a), pareto_front(b));
+}
+
 }  // namespace
 }  // namespace addm::core

@@ -2,6 +2,9 @@
 // (comments, multi-line, name), and line-numbered error diagnostics.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <stdexcept>
+
 #include "seq/trace_io.hpp"
 #include "seq/workloads.hpp"
 
@@ -79,6 +82,31 @@ TEST(TraceIo, WriterWrapsLines) {
   std::size_t lines = 0;
   for (char c : text) lines += (c == '\n');
   EXPECT_GE(lines, 6u);  // header + geometry + name + 4 data lines
+}
+
+TEST(TraceIoFile, RoundTripThroughDisk) {
+  const auto original = transpose_read({8, 4});
+  const std::string path = ::testing::TempDir() + "trace_io_file_roundtrip.trace";
+  write_trace_file(path, original);
+  const auto parsed = read_trace_file(path);
+  EXPECT_EQ(parsed.linear(), original.linear());
+  EXPECT_EQ(parsed.geometry(), original.geometry());
+  EXPECT_EQ(parsed.name(), original.name());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoFile, MissingFileThrowsWithPath) {
+  try {
+    read_trace_file("/nonexistent/dir/missing.trace");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("missing.trace"), std::string::npos);
+  }
+}
+
+TEST(TraceIoFile, UnwritablePathThrows) {
+  const auto t = incremental({4, 4});
+  EXPECT_THROW(write_trace_file("/nonexistent/dir/out.trace", t), std::runtime_error);
 }
 
 }  // namespace

@@ -1,0 +1,215 @@
+// addm_explore — batch design-space exploration CLI.
+//
+// Evaluates every applicable address-generator architecture (SRAG,
+// multi-counter SRAG, CntAG variants, symbolic FSMs, SFM) for each input
+// trace, concurrently, and emits an aggregated CSV or JSON report with
+// per-trace Pareto fronts.
+//
+// Inputs are any mix of:
+//   --suite N         the built-in workload suite over N doubling geometries
+//                     (9 traces per geometry; --suite 12 gives 108 traces)
+//   --trace FILE      a trace file in the seq/trace_io text format
+//   --trace-dir DIR   every *.trace file in DIR (sorted by name)
+//
+// The report is byte-identical for a given input list and options regardless
+// of --threads; timing goes to stderr only.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cli_util.hpp"
+#include "core/batch_explorer.hpp"
+#include "seq/trace_io.hpp"
+#include "seq/workloads.hpp"
+
+namespace {
+
+using addm::tools::parse_geometry;
+using addm::tools::parse_size;
+
+void usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options]\n"
+      << "\n"
+      << "input selection (at least one):\n"
+      << "  --suite N            built-in workload suite over N geometries\n"
+      << "  --base WxH           base geometry for --suite (default 8x8)\n"
+      << "  --trace FILE         add one trace file (repeatable)\n"
+      << "  --trace-dir DIR      add every *.trace file under DIR\n"
+      << "\n"
+      << "exploration:\n"
+      << "  --threads N          worker threads (default: hardware)\n"
+      << "  --no-cache           disable (trace, options) memoization\n"
+      << "  --no-fsm             skip symbolic-FSM candidates\n"
+      << "  --max-fsm-states N   FSM feasibility cap (default 1024)\n"
+      << "  --max-fanout N       buffering fanout limit\n"
+      << "\n"
+      << "output:\n"
+      << "  --format csv|json    report format (default csv)\n"
+      << "  --out FILE           write report to FILE (default stdout)\n"
+      << "  --quiet              suppress the stderr summary\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using addm::core::BatchExplorer;
+  using addm::core::BatchOptions;
+
+  BatchOptions opt;
+  std::size_t suite_scales = 0;
+  addm::seq::ArrayGeometry base{8, 8};
+  std::vector<std::string> trace_files;
+  std::vector<std::string> trace_dirs;
+  std::string format = "csv";
+  std::string out_path;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto need_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << argv[0] << ": " << arg << " requires a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (arg == "--suite") {
+      if (!parse_size(need_value(), suite_scales) || suite_scales == 0) {
+        std::cerr << argv[0] << ": --suite expects a positive count\n";
+        return 2;
+      }
+    } else if (arg == "--base") {
+      if (!parse_geometry(need_value(), base)) {
+        std::cerr << argv[0] << ": --base expects WxH (e.g. 8x8)\n";
+        return 2;
+      }
+    } else if (arg == "--trace") {
+      trace_files.push_back(need_value());
+    } else if (arg == "--trace-dir") {
+      trace_dirs.push_back(need_value());
+    } else if (arg == "--threads") {
+      if (!parse_size(need_value(), opt.threads) ||
+          opt.threads > addm::tools::kMaxThreads) {
+        std::cerr << argv[0] << ": --threads expects a number between 0 and "
+                  << addm::tools::kMaxThreads << "\n";
+        return 2;
+      }
+    } else if (arg == "--no-cache") {
+      opt.memoize = false;
+    } else if (arg == "--no-fsm") {
+      opt.explore.include_fsm = false;
+    } else if (arg == "--max-fsm-states") {
+      if (!parse_size(need_value(), opt.explore.max_fsm_states)) {
+        std::cerr << argv[0] << ": --max-fsm-states expects a number\n";
+        return 2;
+      }
+    } else if (arg == "--max-fanout") {
+      std::size_t v = 0;
+      if (!parse_size(need_value(), v) || v == 0) {
+        std::cerr << argv[0] << ": --max-fanout expects a positive number\n";
+        return 2;
+      }
+      opt.explore.max_fanout = static_cast<int>(v);
+    } else if (arg == "--format") {
+      format = need_value();
+      if (format != "csv" && format != "json") {
+        std::cerr << argv[0] << ": --format must be csv or json\n";
+        return 2;
+      }
+    } else if (arg == "--out") {
+      out_path = need_value();
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      std::cerr << argv[0] << ": unknown option '" << arg << "'\n";
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  std::vector<addm::seq::AddressTrace> traces;
+  try {
+    if (suite_scales > 0) traces = addm::seq::scaled_suite(base, suite_scales);
+    std::vector<std::string> files = trace_files;
+    for (const std::string& dir : trace_dirs) {
+      std::vector<std::string> found;
+      for (const auto& e : std::filesystem::directory_iterator(dir))
+        if (e.is_regular_file() && e.path().extension() == ".trace")
+          found.push_back(e.path().string());
+      std::sort(found.begin(), found.end());
+      files.insert(files.end(), found.begin(), found.end());
+    }
+    for (const std::string& f : files) {
+      auto t = addm::seq::read_trace_file(f);
+      if (t.name().empty())
+        t.set_name(std::filesystem::path(f).stem().string());
+      traces.push_back(std::move(t));
+    }
+  } catch (const std::exception& e) {
+    std::cerr << argv[0] << ": " << e.what() << "\n";
+    return 1;
+  }
+  if (traces.empty()) {
+    std::cerr << argv[0] << ": no input traces (use --suite, --trace or --trace-dir)\n";
+    usage(argv[0]);
+    return 2;
+  }
+
+  addm::core::BatchResult result;
+  try {
+    BatchExplorer explorer(opt);
+    result = explorer.run(traces);
+  } catch (const std::exception& e) {
+    std::cerr << argv[0] << ": exploration failed: " << e.what() << "\n";
+    return 1;
+  }
+
+  const std::string report = format == "json" ? addm::core::batch_report_json(result)
+                                              : addm::core::batch_report_csv(result);
+  if (out_path.empty()) {
+    std::cout << report;
+    std::cout.flush();
+    if (!std::cout) {
+      std::cerr << argv[0] << ": error writing report to stdout\n";
+      return 1;
+    }
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << argv[0] << ": cannot open " << out_path << " for writing\n";
+      return 1;
+    }
+    out << report;
+    out.flush();
+    if (!out) {
+      std::cerr << argv[0] << ": error writing report to " << out_path << "\n";
+      return 1;
+    }
+  }
+
+  std::size_t errors = 0;
+  for (const auto& e : result.entries)
+    if (!e.error.empty()) ++errors;
+  if (!quiet) {
+    std::fprintf(stderr,
+                 "explored %zu traces (%zu evaluated, %zu cache hits, %zu errors) "
+                 "in %.3fs with %zu threads\n",
+                 result.traces, result.evaluations, result.cache_hits, errors,
+                 result.wall_seconds,
+                 opt.threads ? opt.threads
+                             : static_cast<std::size_t>(
+                                   std::max(1u, std::thread::hardware_concurrency())));
+  }
+  return errors == 0 ? 0 : 3;
+}

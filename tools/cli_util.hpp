@@ -1,0 +1,43 @@
+// Shared argument-parsing helpers for the addm command-line tools.
+#pragma once
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "seq/trace.hpp"
+
+namespace addm::tools {
+
+/// Strict non-negative integer: digits only (no sign, no whitespace, no
+/// trailing junk). Returns false on overflow or malformed input.
+inline bool parse_size(const char* s, std::size_t& out) {
+  if (!s || !std::isdigit(static_cast<unsigned char>(*s))) return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  out = static_cast<std::size_t>(v);
+  return true;
+}
+
+/// "WxH" with positive dimensions, e.g. "8x8".
+inline bool parse_geometry(const char* s, seq::ArrayGeometry& g) {
+  const char* x = std::strchr(s, 'x');
+  if (!x) return false;
+  const std::string w(s, x);
+  std::size_t wv = 0, hv = 0;
+  if (!parse_size(w.c_str(), wv) || !parse_size(x + 1, hv)) return false;
+  if (wv == 0 || hv == 0) return false;
+  g.width = wv;
+  g.height = hv;
+  return true;
+}
+
+/// Upper bound on --threads: far above any real machine, low enough that a
+/// typo cannot ask the thread pool for billions of workers.
+inline constexpr std::size_t kMaxThreads = 1024;
+
+}  // namespace addm::tools
