@@ -9,7 +9,10 @@
 #include <sstream>
 #include <stdexcept>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
 
+#include "core/eval_cache.hpp"
 #include "core/fingerprint.hpp"
 #include "core/thread_pool.hpp"
 
@@ -43,12 +46,6 @@ std::shared_ptr<const Outcome> evaluate_trace(const seq::AddressTrace& trace,
 std::string fixed6(double v) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.6f", v);
-  return buf;
-}
-
-std::string hex64(std::uint64_t v) {
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
   return buf;
 }
 
@@ -93,7 +90,19 @@ struct BatchExplorer::Impl {
   /// shared_future lets a second worker that races on the same trace block
   /// on the first evaluation instead of recomputing it.
   std::unordered_map<std::uint64_t, std::shared_future<std::shared_ptr<const Outcome>>> cache;
+  /// Keys (same combined form) whose outcomes were warm-started from the
+  /// persistent cache directory: traces resolving to these count as disk
+  /// hits, independent of scheduling.
+  std::unordered_set<std::uint64_t> disk_keys;
 };
+
+namespace {
+
+std::uint64_t combined_key(std::uint64_t trace_fp, std::uint64_t opt_fp) {
+  return trace_fp ^ (opt_fp << 1 | opt_fp >> 63);
+}
+
+}  // namespace
 
 BatchExplorer::BatchExplorer(BatchOptions opt) : opt_(std::move(opt)), impl_(new Impl) {}
 
@@ -107,19 +116,56 @@ std::size_t BatchExplorer::cache_size() const {
 void BatchExplorer::clear_cache() {
   std::lock_guard<std::mutex> lk(impl_->mu);
   impl_->cache.clear();
+  impl_->disk_keys.clear();
 }
 
 BatchResult BatchExplorer::run(const std::vector<seq::AddressTrace>& traces) {
   const auto t0 = std::chrono::steady_clock::now();
   const std::uint64_t opt_fp = options_fingerprint(opt_.explore);
+  const bool use_disk = opt_.memoize && !opt_.cache_dir.empty();
 
   BatchResult result;
   result.traces = traces.size();
   result.entries.resize(traces.size());
 
+  // Warm start: probe the cache directory for exactly the keys this run
+  // needs (entry filenames derive from the key, so no index scan — cost is
+  // O(inputs), not O(cache size)) and resolve hits into the memo table
+  // before any worker runs.  Probing every run() also picks up entries
+  // stored by concurrent processes since the last one.  Disk damage shows
+  // up as failed probes, never as a failure.
+  if (use_disk) {
+    EvalCacheDir store(opt_.cache_dir);
+    std::unordered_set<std::uint64_t> probed;
+    for (const seq::AddressTrace& trace : traces) {
+      const std::uint64_t trace_fp = trace_fingerprint(trace);
+      const std::uint64_t key = combined_key(trace_fp, opt_fp);
+      if (!probed.insert(key).second) continue;
+      {
+        std::lock_guard<std::mutex> lk(impl_->mu);
+        if (impl_->cache.count(key)) continue;
+      }
+      EvalCacheEntry e;
+      if (!store.load_entry({trace_fp, opt_fp}, e)) continue;
+      auto outcome = std::make_shared<Outcome>();
+      outcome->points = std::move(e.points);
+      outcome->pareto = std::move(e.pareto);
+      std::promise<std::shared_ptr<const Outcome>> ready;
+      ready.set_value(std::move(outcome));
+      std::lock_guard<std::mutex> lk(impl_->mu);
+      if (impl_->cache.try_emplace(key, ready.get_future().share()).second) {
+        impl_->disk_keys.insert(key);
+        ++result.disk_entries_loaded;
+      }
+    }
+  }
+
   std::mutex stats_mu;
   std::size_t evaluations = 0;
   std::size_t cache_hits = 0;
+  std::size_t disk_hits = 0;
+  /// Owner-evaluated successful outcomes, flushed to disk after the run.
+  std::vector<std::pair<std::uint64_t, std::shared_ptr<const Outcome>>> fresh;
 
   auto work = [&](std::size_t i) {
     const seq::AddressTrace& trace = traces[i];
@@ -128,8 +174,7 @@ BatchResult BatchExplorer::run(const std::vector<seq::AddressTrace>& traces) {
     entry.geometry = trace.geometry();
     entry.trace_length = trace.length();
     entry.trace_hash = trace_fingerprint(trace);
-    const std::uint64_t key =
-        entry.trace_hash ^ (opt_fp << 1 | opt_fp >> 63);
+    const std::uint64_t key = combined_key(entry.trace_hash, opt_fp);
 
     std::shared_ptr<const Outcome> outcome;
     if (!opt_.memoize) {
@@ -140,22 +185,31 @@ BatchResult BatchExplorer::run(const std::vector<seq::AddressTrace>& traces) {
       std::promise<std::shared_ptr<const Outcome>> promise;
       std::shared_future<std::shared_ptr<const Outcome>> future;
       bool owner = false;
+      bool from_disk = false;
       {
         std::lock_guard<std::mutex> lk(impl_->mu);
         auto [it, inserted] = impl_->cache.try_emplace(key);
         if (inserted) {
           it->second = promise.get_future().share();
           owner = true;
+        } else {
+          from_disk = impl_->disk_keys.count(key) != 0;
         }
         future = it->second;
       }
       if (owner) {
-        promise.set_value(evaluate_trace(trace, opt_.explore));
+        auto computed = evaluate_trace(trace, opt_.explore);
+        promise.set_value(computed);
         std::lock_guard<std::mutex> lk(stats_mu);
         ++evaluations;
+        if (use_disk && computed->error.empty())
+          fresh.emplace_back(entry.trace_hash, std::move(computed));
       } else {
         std::lock_guard<std::mutex> lk(stats_mu);
-        ++cache_hits;
+        if (from_disk)
+          ++disk_hits;
+        else
+          ++cache_hits;
       }
       outcome = future.get();
     }
@@ -168,8 +222,23 @@ BatchResult BatchExplorer::run(const std::vector<seq::AddressTrace>& traces) {
   ThreadPool pool(opt_.threads);
   pool.parallel_for(traces.size(), work);
 
+  // Flush: persist this run's newly computed successes.  Errors are never
+  // cached (a transient failure must not become permanent), and I/O errors
+  // only cost the entry.
+  if (use_disk && !fresh.empty()) {
+    EvalCacheDir store(opt_.cache_dir);
+    for (const auto& [trace_fp, outcome] : fresh) {
+      EvalCacheEntry e;
+      e.key = {trace_fp, opt_fp};
+      e.points = outcome->points;
+      e.pareto = outcome->pareto;
+      if (store.store(e)) ++result.disk_entries_stored;
+    }
+  }
+
   result.evaluations = evaluations;
   result.cache_hits = cache_hits;
+  result.disk_hits = disk_hits;
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   return result;
@@ -211,9 +280,10 @@ std::string batch_report_csv(const BatchResult& result) {
 std::string batch_report_json(const BatchResult& result) {
   std::ostringstream os;
   os << "{\n";
-  os << "  \"summary\": {\"traces\": " << result.traces
-     << ", \"evaluations\": " << result.evaluations
-     << ", \"cache_hits\": " << result.cache_hits << "},\n";
+  // Only input-determined data may appear here: evaluation/cache counters
+  // depend on cache warmth and sharding, and would break the byte-identical
+  // merge contract.  They are reported out-of-band (stderr in the CLI).
+  os << "  \"summary\": {\"traces\": " << result.traces << "},\n";
   os << "  \"traces\": [\n";
   for (std::size_t t = 0; t < result.entries.size(); ++t) {
     const BatchEntry& e = result.entries[t];

@@ -1,13 +1,18 @@
 // Batch design-space exploration: run explore_generators over a whole suite
 // of address traces concurrently, aggregate per-trace Pareto fronts, and
-// memoize repeated (trace, options) evaluations.
+// memoize repeated (trace, options) evaluations — in memory within one
+// process, and optionally on disk across processes (core/eval_cache).
 //
 // Determinism contract: for a fixed input trace list and options, the
 // BatchResult entries — and therefore batch_report_csv / batch_report_json —
-// are byte-identical regardless of thread count or scheduling. Entries are
-// ordered by input position; nothing schedule-dependent (timings, worker
-// ids) enters the report. Cache statistics are deterministic too: duplicate
-// traces are evaluated exactly once however the workers interleave.
+// are byte-identical regardless of thread count, scheduling, or cache state
+// (cold, memo-warm, or disk-warm).  Entries are ordered by input position;
+// nothing schedule- or cache-dependent (timings, worker ids, hit counts)
+// enters the serialized reports.  Cache statistics live only in BatchResult
+// fields: they are deterministic for a fixed input and cache state, but a
+// warm disk cache turns evaluations into disk_hits, so they are *not* part
+// of any report.  This is what makes sharded runs mergeable byte-for-byte
+// (see tools/addm_merge and docs/cache-format.md).
 #pragma once
 
 #include <cstddef>
@@ -20,6 +25,8 @@
 
 namespace addm::core {
 
+/// Configuration for one BatchExplorer.  Value type; copying is cheap
+/// relative to an exploration.
 struct BatchOptions {
   ExploreOptions explore;
   /// Worker threads; 0 means std::thread::hardware_concurrency().
@@ -27,8 +34,17 @@ struct BatchOptions {
   /// Reuse results across identical (trace, options) pairs, including across
   /// successive run() calls on the same BatchExplorer.
   bool memoize = true;
+  /// When non-empty, the directory of a persistent evaluation cache
+  /// (core/eval_cache).  Each run() probes the store for exactly the input
+  /// traces' (trace, options) keys — O(inputs), not O(cache size) — and
+  /// flushes newly computed results back on completion.  Multiple
+  /// concurrent processes may share one directory.  Requires `memoize`;
+  /// ignored when memoization is disabled.
+  std::string cache_dir;
 };
 
+/// Per-trace exploration outcome, in input order.  Plain value type: every
+/// field is a pure function of the input trace and ExploreOptions.
 struct BatchEntry {
   std::string name;             ///< trace name (or "trace<N>" when unnamed)
   seq::ArrayGeometry geometry;
@@ -39,14 +55,23 @@ struct BatchEntry {
   std::string error;  ///< non-empty iff exploration threw for this trace
 };
 
+/// Result of one run().  `entries` (and reports built from them) depend only
+/// on the inputs; the counters additionally depend on cache state and are
+/// therefore reported out-of-band (stderr in the CLI), never serialized.
 struct BatchResult {
   std::vector<BatchEntry> entries;  ///< one per input trace, input order
   std::size_t traces = 0;
   std::size_t evaluations = 0;  ///< explorations actually executed
-  std::size_t cache_hits = 0;   ///< traces served from the memo table
+  std::size_t cache_hits = 0;   ///< traces served from the in-memory memo table
+  std::size_t disk_hits = 0;    ///< traces served from entries loaded off disk
+  std::size_t disk_entries_loaded = 0;  ///< options-matching entries warm-started
+  std::size_t disk_entries_stored = 0;  ///< new entries flushed to disk this run
   double wall_seconds = 0.0;    ///< not part of any serialized report
 };
 
+/// Concurrent, memoizing driver around explore_generators.  One instance
+/// owns one in-memory memo table (and, when configured, one handle to a
+/// persistent cache directory).
 class BatchExplorer {
  public:
   explicit BatchExplorer(BatchOptions opt = {});
@@ -56,11 +81,18 @@ class BatchExplorer {
 
   const BatchOptions& options() const { return opt_; }
 
-  /// Explores every trace. Thread-safe with respect to the internal cache;
-  /// not reentrant (one run() at a time per BatchExplorer).
+  /// Explores every trace.  Thread-safe with respect to the internal cache;
+  /// not reentrant (one run() at a time per BatchExplorer).  With a
+  /// cache_dir configured, every run() probes the store for the input keys
+  /// it does not already hold in memory and flushes newly computed results;
+  /// disk I/O errors degrade to cache misses or unsaved entries, never
+  /// failures.
   BatchResult run(const std::vector<seq::AddressTrace>& traces);
 
+  /// Number of keys in the in-memory memo table (disk-loaded included).
   std::size_t cache_size() const;
+  /// Drops the in-memory memo table.  The persistent cache directory is
+  /// untouched; the next run() warm-starts from it again.
   void clear_cache();
 
  private:
@@ -71,11 +103,12 @@ class BatchExplorer {
 
 /// CSV report: header + one row per (trace, design point). Fixed numeric
 /// formatting; fields containing separators are quoted. Byte-identical for
-/// identical BatchResult entries.
+/// identical BatchResult entries, independent of threads and cache state.
 std::string batch_report_csv(const BatchResult& result);
 
-/// JSON report mirroring the CSV plus a summary object (trace counts,
-/// evaluations, cache hits). Deterministic field order and formatting.
+/// JSON report mirroring the CSV plus a summary object. Deterministic field
+/// order and formatting; contains only input-determined data (no cache or
+/// evaluation counters), so shard reports merge byte-stably.
 std::string batch_report_json(const BatchResult& result);
 
 }  // namespace addm::core

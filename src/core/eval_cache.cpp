@@ -1,0 +1,476 @@
+#include "core/eval_cache.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <utility>
+#include <string_view>
+
+#include "core/fingerprint.hpp"
+
+namespace addm::core {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::string_view kIndexMagic = "addm-eval-cache";
+constexpr std::string_view kEntryMagic = "addm-eval-entry";
+constexpr const char* kIndexName = "index.txt";
+
+bool parse_hex64(std::string_view s, std::uint64_t& out) {
+  if (s.empty() || s.size() > 16) return false;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9')
+      v |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f')
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else
+      return false;
+  }
+  out = v;
+  return true;
+}
+
+bool parse_u64(std::string_view s, std::uint64_t& out) {
+  if (s.empty() || s.size() > 20) return false;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    const std::uint64_t d = static_cast<std::uint64_t>(c - '0');
+    if (v > (UINT64_MAX - d) / 10) return false;
+    v = v * 10 + d;
+  }
+  out = v;
+  return true;
+}
+
+/// Doubles are stored as their IEEE-754 bit pattern so that a disk round
+/// trip is bit-exact and reports built from cached points match reports
+/// built from fresh evaluations byte-for-byte.
+std::string double_bits(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  return hex64(bits);
+}
+
+bool parse_double_bits(std::string_view s, double& out) {
+  std::uint64_t bits;
+  if (!parse_hex64(s, bits) || s.size() != 16) return false;
+  std::memcpy(&out, &bits, sizeof out);
+  return true;
+}
+
+/// Strings are quoted and percent-escaped so every serialized field is a
+/// single non-empty whitespace-free token ("" encodes the empty string).
+std::string quote_field(const std::string& s) {
+  std::string q = "\"";
+  for (unsigned char c : s) {
+    if (c > 0x20 && c < 0x7f && c != '%' && c != '"') {
+      q += static_cast<char>(c);
+    } else {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "%%%02x", c);
+      q += buf;
+    }
+  }
+  q += '"';
+  return q;
+}
+
+bool unquote_field(std::string_view t, std::string& out) {
+  if (t.size() < 2 || t.front() != '"' || t.back() != '"') return false;
+  out.clear();
+  for (std::size_t i = 1; i + 1 < t.size(); ++i) {
+    const char c = t[i];
+    if (c == '%') {
+      if (i + 2 >= t.size() - 1) return false;  // need 2 hex chars inside the quotes
+      std::uint64_t v = 0;
+      if (!parse_hex64(t.substr(i + 1, 2), v)) return false;
+      out += static_cast<char>(static_cast<unsigned char>(v));
+      i += 2;
+    } else if (c == '"' || static_cast<unsigned char>(c) <= 0x20) {
+      return false;
+    } else {
+      out += c;
+    }
+  }
+  return true;
+}
+
+std::vector<std::string_view> split_tokens(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    const std::size_t j = line.find(' ', i);
+    if (j == std::string_view::npos) {
+      tokens.push_back(line.substr(i));
+      break;
+    }
+    tokens.push_back(line.substr(i, j - i));
+    i = j + 1;
+  }
+  return tokens;
+}
+
+std::string entry_filename(const EvalCacheKey& key) {
+  return hex64(key.trace_hash) + "-" + hex64(key.options_hash) + ".entry";
+}
+
+std::uint64_t payload_checksum(std::string_view payload) {
+  Fnv1a64 h;
+  h.bytes(payload.data(), payload.size());
+  return h.digest();
+}
+
+bool read_file(const fs::path& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream os;
+  os << in.rdbuf();
+  if (!in.good() && !in.eof()) return false;
+  out = os.str();
+  return true;
+}
+
+/// Lexicographic key order: load results are sorted so cache contents are a
+/// pure function of the key set, independent of index line order.
+bool key_less(const EvalCacheKey& a, const EvalCacheKey& b) {
+  if (a.trace_hash != b.trace_hash) return a.trace_hash < b.trace_hash;
+  return a.options_hash < b.options_hash;
+}
+
+/// Reads the index and returns the deduplicated key list (unsorted).  A
+/// missing index, a bad magic/version header, or malformed lines yield an
+/// empty / reduced list; `skipped` counts tolerated damage.
+std::vector<EvalCacheKey> read_index(const fs::path& dir, std::size_t& skipped) {
+  std::vector<EvalCacheKey> keys;
+  std::ifstream in(dir / kIndexName);
+  if (!in) return keys;
+
+  const std::string header = std::string(kIndexMagic) + " " +
+                             std::to_string(kEvalCacheFormatVersion);
+  std::string line;
+  if (!std::getline(in, line)) return keys;
+  if (line != header) {
+    ++skipped;  // foreign or other-version cache: treat as empty
+    return keys;
+  }
+
+  std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+  while (std::getline(in, line)) {
+    // Two processes racing on first creation can both append the header;
+    // the duplicate is expected noise, not damage.
+    if (line == header) continue;
+    const auto tokens = split_tokens(line);
+    EvalCacheKey key;
+    if (tokens.size() != 3 || tokens[0] != "entry" ||
+        !parse_hex64(tokens[1], key.trace_hash) || tokens[1].size() != 16 ||
+        !parse_hex64(tokens[2], key.options_hash) || tokens[2].size() != 16) {
+      if (!line.empty()) ++skipped;
+      continue;
+    }
+    if (!seen.insert({key.trace_hash, key.options_hash}).second) continue;
+    keys.push_back(key);
+  }
+  return keys;
+}
+
+std::atomic<unsigned> g_tmp_counter{0};
+
+/// Writes `content` to `path` atomically: unique temp file in the same
+/// directory, then rename (atomic on POSIX).  Readers see either the old
+/// file or the complete new one, never a prefix.
+bool atomic_write(const fs::path& path, const std::string& content) {
+  const unsigned seq = g_tmp_counter.fetch_add(1, std::memory_order_relaxed);
+  fs::path tmp = path;
+  tmp += ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
+         std::to_string(seq);
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out << content;
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string serialize_eval_entry(const EvalCacheEntry& entry) {
+  std::ostringstream os;
+  os << kEntryMagic << " " << kEvalCacheFormatVersion << "\n";
+  os << "key " << hex64(entry.key.trace_hash) << " " << hex64(entry.key.options_hash)
+     << "\n";
+  os << "points " << entry.points.size() << "\n";
+  for (const DesignPoint& p : entry.points) {
+    os << "p " << quote_field(p.architecture) << " " << (p.feasible ? 1 : 0) << " "
+       << double_bits(p.metrics.area_units) << " " << double_bits(p.metrics.delay_ns)
+       << " " << double_bits(p.metrics.clk_to_out_ns) << " "
+       << double_bits(p.metrics.reg_to_reg_ns) << " " << p.metrics.cells << " "
+       << p.metrics.flipflops << " " << p.metrics.buffers_added << " "
+       << quote_field(p.note) << "\n";
+  }
+  os << "pareto " << entry.pareto.size();
+  for (std::size_t i : entry.pareto) os << " " << i;
+  os << "\n";
+  std::string payload = os.str();
+  payload += "sum " + hex64(payload_checksum(payload)) + "\n";
+  return payload;
+}
+
+bool parse_eval_entry(const std::string& text, EvalCacheEntry& out) {
+  // The checksum line is the last line; everything before it is the payload
+  // the checksum covers.  A truncated file fails here.  (size >= 2 keeps
+  // the size-2 search start and the sum_line length below from wrapping.)
+  if (text.size() < 2 || text.back() != '\n') return false;
+  const std::size_t last_nl = text.find_last_of('\n', text.size() - 2);
+  if (last_nl == std::string::npos) return false;
+  const std::string_view payload(text.data(), last_nl + 1);
+  const std::string_view sum_line(text.data() + last_nl + 1,
+                                  text.size() - last_nl - 2);
+  {
+    const auto tokens = split_tokens(sum_line);
+    std::uint64_t sum = 0;
+    if (tokens.size() != 2 || tokens[0] != "sum" || !parse_hex64(tokens[1], sum) ||
+        tokens[1].size() != 16 || sum != payload_checksum(payload))
+      return false;
+  }
+
+  std::istringstream in{std::string(payload)};
+  std::string line;
+
+  if (!std::getline(in, line)) return false;
+  {
+    const auto tokens = split_tokens(line);
+    std::uint64_t version = 0;
+    if (tokens.size() != 2 || tokens[0] != kEntryMagic ||
+        !parse_u64(tokens[1], version) ||
+        version != static_cast<std::uint64_t>(kEvalCacheFormatVersion))
+      return false;
+  }
+
+  EvalCacheEntry entry;
+  if (!std::getline(in, line)) return false;
+  {
+    const auto tokens = split_tokens(line);
+    if (tokens.size() != 3 || tokens[0] != "key" ||
+        !parse_hex64(tokens[1], entry.key.trace_hash) || tokens[1].size() != 16 ||
+        !parse_hex64(tokens[2], entry.key.options_hash) || tokens[2].size() != 16)
+      return false;
+  }
+
+  std::uint64_t n_points = 0;
+  if (!std::getline(in, line)) return false;
+  {
+    const auto tokens = split_tokens(line);
+    if (tokens.size() != 2 || tokens[0] != "points" || !parse_u64(tokens[1], n_points))
+      return false;
+    if (n_points > (1u << 20)) return false;  // implausible: reject, don't allocate
+  }
+
+  entry.points.reserve(n_points);
+  for (std::uint64_t i = 0; i < n_points; ++i) {
+    if (!std::getline(in, line)) return false;
+    const auto tokens = split_tokens(line);
+    if (tokens.size() != 11 || tokens[0] != "p") return false;
+    DesignPoint p;
+    std::uint64_t feasible = 0, cells = 0, ffs = 0, bufs = 0;
+    if (!unquote_field(tokens[1], p.architecture) ||
+        !parse_u64(tokens[2], feasible) || feasible > 1 ||
+        !parse_double_bits(tokens[3], p.metrics.area_units) ||
+        !parse_double_bits(tokens[4], p.metrics.delay_ns) ||
+        !parse_double_bits(tokens[5], p.metrics.clk_to_out_ns) ||
+        !parse_double_bits(tokens[6], p.metrics.reg_to_reg_ns) ||
+        !parse_u64(tokens[7], cells) || !parse_u64(tokens[8], ffs) ||
+        !parse_u64(tokens[9], bufs) || !unquote_field(tokens[10], p.note))
+      return false;
+    p.feasible = feasible != 0;
+    p.metrics.cells = static_cast<std::size_t>(cells);
+    p.metrics.flipflops = static_cast<std::size_t>(ffs);
+    p.metrics.buffers_added = static_cast<std::size_t>(bufs);
+    entry.points.push_back(std::move(p));
+  }
+
+  if (!std::getline(in, line)) return false;
+  {
+    const auto tokens = split_tokens(line);
+    std::uint64_t n_pareto = 0;
+    if (tokens.size() < 2 || tokens[0] != "pareto" || !parse_u64(tokens[1], n_pareto) ||
+        tokens.size() != 2 + n_pareto)
+      return false;
+    entry.pareto.reserve(n_pareto);
+    for (std::uint64_t i = 0; i < n_pareto; ++i) {
+      std::uint64_t idx = 0;
+      if (!parse_u64(tokens[2 + i], idx) || idx >= entry.points.size()) return false;
+      entry.pareto.push_back(static_cast<std::size_t>(idx));
+    }
+  }
+
+  if (std::getline(in, line)) return false;  // trailing junk inside the checksum
+  out = std::move(entry);
+  return true;
+}
+
+EvalCacheDir::EvalCacheDir(std::string dir) : dir_(std::move(dir)) {}
+
+std::vector<EvalCacheEntry> EvalCacheDir::load_all(EvalCacheLoadStats* stats) const {
+  EvalCacheLoadStats local;
+  std::vector<EvalCacheEntry> entries;
+  const fs::path dir(dir_);
+  std::vector<EvalCacheKey> keys = read_index(dir, local.skipped);
+  std::sort(keys.begin(), keys.end(), key_less);
+  for (const EvalCacheKey& key : keys) {
+    std::string text;
+    EvalCacheEntry entry;
+    if (!read_file(dir / entry_filename(key), text) || !parse_eval_entry(text, entry) ||
+        !(entry.key == key)) {
+      ++local.skipped;
+      continue;
+    }
+    ++local.loaded;
+    entries.push_back(std::move(entry));
+  }
+  if (stats) *stats = local;
+  return entries;
+}
+
+std::vector<EvalCacheEntry> EvalCacheDir::load_matching(
+    std::uint64_t options_hash, EvalCacheLoadStats* stats) const {
+  EvalCacheLoadStats local;
+  std::vector<EvalCacheEntry> entries;
+  const fs::path dir(dir_);
+  std::vector<EvalCacheKey> keys = read_index(dir, local.skipped);
+  std::sort(keys.begin(), keys.end(), key_less);
+  for (const EvalCacheKey& key : keys) {
+    if (key.options_hash != options_hash) continue;
+    std::string text;
+    EvalCacheEntry entry;
+    if (!read_file(dir / entry_filename(key), text) || !parse_eval_entry(text, entry) ||
+        !(entry.key == key)) {
+      ++local.skipped;
+      continue;
+    }
+    ++local.loaded;
+    entries.push_back(std::move(entry));
+  }
+  if (stats) *stats = local;
+  return entries;
+}
+
+bool EvalCacheDir::load_entry(const EvalCacheKey& key, EvalCacheEntry& out) const {
+  std::string text;
+  EvalCacheEntry entry;
+  if (!read_file(fs::path(dir_) / entry_filename(key), text) ||
+      !parse_eval_entry(text, entry) || !(entry.key == key))
+    return false;
+  out = std::move(entry);
+  return true;
+}
+
+namespace {
+
+bool ensure_dir(const fs::path& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  return !ec || fs::is_directory(dir);
+}
+
+/// Appends the index line for `key` (preceded by the header when the index
+/// does not exist yet).  Header and line go out as single whole-line
+/// writes; a line torn by a concurrent writer is skipped on load, and a
+/// duplicated header (two processes racing on first creation) is tolerated
+/// there too.  Refuses (returns false) when the index carries another
+/// version's header: appending there would "store" entries no reader of
+/// this version would ever see.  Delete the directory to upgrade.
+bool append_index(const fs::path& dir, const EvalCacheKey& key) {
+  const fs::path index = dir / kIndexName;
+  const std::string header = std::string(kIndexMagic) + " " +
+                             std::to_string(kEvalCacheFormatVersion);
+  bool fresh = true;
+  {
+    std::ifstream in(index);
+    std::string first;
+    if (in && std::getline(in, first)) {
+      if (first != header) return false;
+      fresh = false;
+    }
+  }
+  std::ofstream out(index, std::ios::app);
+  if (!out) return false;
+  std::string lines;
+  if (fresh) lines += header + "\n";
+  lines += "entry " + hex64(key.trace_hash) + " " + hex64(key.options_hash) + "\n";
+  out << lines;
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+bool EvalCacheDir::store(const EvalCacheEntry& entry) {
+  const fs::path dir(dir_);
+  if (!ensure_dir(dir)) return false;
+  if (!atomic_write(dir / entry_filename(entry.key), serialize_eval_entry(entry)))
+    return false;
+  return append_index(dir, entry.key);
+}
+
+EvalCacheDir::MergeStats EvalCacheDir::merge(const std::string& dst,
+                                             const std::string& src) {
+  const fs::path src_dir(src);
+  const fs::path dst_dir(dst);
+  std::size_t skipped = 0;
+  std::set<std::pair<std::uint64_t, std::uint64_t>> have;
+  for (const EvalCacheKey& key : read_index(dst_dir, skipped))
+    have.insert({key.trace_hash, key.options_hash});
+
+  // Stream one entry at a time: validate the source bytes, then copy them
+  // verbatim (entry serialization is canonical, so the file content of a
+  // valid entry is already exactly what we would write).
+  MergeStats stats;
+  bool dst_ready = false;
+  for (const EvalCacheKey& key : read_index(src_dir, skipped)) {
+    if (have.count({key.trace_hash, key.options_hash})) continue;
+    std::string text;
+    EvalCacheEntry entry;
+    if (!read_file(src_dir / entry_filename(key), text) ||
+        !parse_eval_entry(text, entry) || !(entry.key == key))
+      continue;  // source damage: a plain skip, as on load
+    if (!dst_ready) {
+      if (!ensure_dir(dst_dir)) {
+        ++stats.failed;
+        continue;
+      }
+      dst_ready = true;
+    }
+    if (atomic_write(dst_dir / entry_filename(key), text) &&
+        append_index(dst_dir, key))
+      ++stats.copied;
+    else
+      ++stats.failed;
+  }
+  return stats;
+}
+
+}  // namespace addm::core

@@ -1,0 +1,127 @@
+// Persistent (on-disk) evaluation cache for the batch explorer.
+//
+// A cache directory holds one append-friendly index (`index.txt`) plus one
+// entry file per cached evaluation, keyed by the pair
+// (trace fingerprint, options fingerprint).  Each entry file serializes the
+// full `DesignPoint` vector and Pareto front produced by explore_generators
+// for that key, with doubles stored as exact IEEE-754 bit patterns so a
+// cache round trip reproduces reports byte-for-byte.
+//
+// Robustness contract (see docs/cache-format.md for the format spec):
+//  * Writes are atomic: entry files are written to a temp name and renamed;
+//    index lines are appended in a single write.  Readers never observe a
+//    half-written entry.
+//  * Corruption tolerance: a malformed index line, a truncated or
+//    bit-flipped entry file, or an index/entry version mismatch degrades to
+//    a cache miss — load never throws for bad cache content and store never
+//    corrupts existing entries.
+//  * Concurrent access: multiple processes may load from and store into the
+//    same directory concurrently.  Duplicate index lines are deduplicated on
+//    load (entries for a key are immutable, so every writer stores the same
+//    payload).
+//
+// Determinism contract: load_matching returns entries sorted by key, and
+// entry serialization is canonical, so merging N shard caches produces a
+// directory whose loaded contents are independent of merge order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/explorer.hpp"
+
+namespace addm::core {
+
+/// Identifies one cached evaluation: the trace fingerprint (geometry +
+/// address sequence, names excluded) and the options fingerprint (every
+/// ExploreOptions field, technology library included).
+struct EvalCacheKey {
+  std::uint64_t trace_hash = 0;
+  std::uint64_t options_hash = 0;
+  bool operator==(const EvalCacheKey&) const = default;
+};
+
+/// One cached evaluation: the design points explore_generators produced for
+/// the key, in candidate order, plus the Pareto-front indices.
+struct EvalCacheEntry {
+  EvalCacheKey key;
+  std::vector<DesignPoint> points;
+  std::vector<std::size_t> pareto;
+};
+
+/// Counters reported by load operations.  `skipped` covers everything the
+/// robustness contract tolerates: malformed index lines, missing, truncated,
+/// corrupt, or version-mismatched entry files.
+struct EvalCacheLoadStats {
+  std::size_t loaded = 0;
+  std::size_t skipped = 0;
+};
+
+/// On-disk format version.  Bump when the entry serialization or index
+/// layout changes; readers treat any other version as an empty cache.
+inline constexpr int kEvalCacheFormatVersion = 1;
+
+/// Canonical text serialization of one entry (versioned, checksummed).
+/// Byte-stable for equal entries; the exact grammar is docs/cache-format.md.
+std::string serialize_eval_entry(const EvalCacheEntry& entry);
+
+/// Parses `serialize_eval_entry` output.  Returns false — never throws — on
+/// any malformation: wrong version, syntax error, checksum mismatch, or a
+/// truncated payload.
+bool parse_eval_entry(const std::string& text, EvalCacheEntry& out);
+
+/// Handle to one cache directory.  The handle itself holds no state beyond
+/// the path: every operation re-reads the directory, so handles are cheap
+/// and safe to use from multiple threads as long as each call site tolerates
+/// concurrent writers (the format guarantees they can).
+class EvalCacheDir {
+ public:
+  /// Binds the handle to `dir`.  The directory is created lazily on the
+  /// first store(), so constructing a handle for a read-only or missing
+  /// path is valid (loads simply return nothing).
+  explicit EvalCacheDir(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  /// Loads every valid entry listed in the index, sorted by key.  Invalid
+  /// content is counted in `stats->skipped` and otherwise ignored.
+  std::vector<EvalCacheEntry> load_all(EvalCacheLoadStats* stats = nullptr) const;
+
+  /// Like load_all but keeps only entries whose options hash equals
+  /// `options_hash` (entries for other option sets are not counted as
+  /// skipped — they are simply out of scope).
+  std::vector<EvalCacheEntry> load_matching(std::uint64_t options_hash,
+                                            EvalCacheLoadStats* stats = nullptr) const;
+
+  /// Probes one key directly (the entry filename is derived from it), so
+  /// readers that already know their keys pay O(1) per lookup instead of
+  /// scanning the index.  Returns false — a plain miss — when the entry is
+  /// absent, damaged, or version-mismatched.
+  bool load_entry(const EvalCacheKey& key, EvalCacheEntry& out) const;
+
+  /// Atomically writes the entry file (temp + rename), then appends one
+  /// index line.  Returns false on I/O failure; the cache is best-effort,
+  /// so callers may ignore the result.  Storing a key twice is harmless.
+  bool store(const EvalCacheEntry& entry);
+
+  /// Result of merge(): `copied` entries were written into the destination,
+  /// `failed` could not be (destination I/O errors — unwritable directory,
+  /// full disk).  Invalid *source* entries are neither: they are ordinary
+  /// skipped damage, exactly as a load would treat them.
+  struct MergeStats {
+    std::size_t copied = 0;
+    std::size_t failed = 0;
+  };
+
+  /// Copies every valid entry of `src` that `dst` does not already index
+  /// into `dst`, streaming one entry at a time (bounded memory, and the
+  /// canonical on-disk bytes are copied verbatim — no re-serialization).
+  /// Merge order is irrelevant to the resulting cache contents.
+  static MergeStats merge(const std::string& dst, const std::string& src);
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace addm::core

@@ -22,13 +22,19 @@
 
 namespace addm::core {
 
+/// One evaluated candidate architecture.  Plain value type; everything here
+/// is a pure function of (trace, ExploreOptions), which is what makes
+/// design points safe to memoize and to persist in the evaluation cache.
 struct DesignPoint {
-  std::string architecture;
+  std::string architecture;  ///< stable candidate label (e.g. "SRAG", "CntAG-flat")
   bool feasible = false;
   std::string note;  ///< why infeasible, or config summary when feasible
-  GeneratorMetrics metrics;
+  GeneratorMetrics metrics;  ///< zero-initialized when infeasible
 };
 
+/// Knobs that affect exploration output.  Every result-affecting field MUST
+/// be covered by options_fingerprint (core/fingerprint.hpp) — the persistent
+/// cache relies on that hash as its only invalidation mechanism.
 struct ExploreOptions {
   tech::Library library = tech::Library::generic_180nm();
   int max_fanout = tech::kDefaultMaxFanout;
@@ -37,13 +43,23 @@ struct ExploreOptions {
   bool include_fsm = true;
 };
 
+/// Evaluates every applicable candidate architecture for `trace` and
+/// returns one DesignPoint per candidate, in a fixed candidate order.
+/// Deterministic: equal (trace, opt) inputs produce equal output, byte for
+/// byte, across runs and hosts.  Thread-safe for concurrent calls (shared
+/// state is read-only); a single call runs on the calling thread.  May
+/// throw (std::invalid_argument and friends) on degenerate traces, e.g.
+/// empty ones; per-candidate infeasibility is reported in the points, not
+/// thrown.
 std::vector<DesignPoint> explore_generators(const seq::AddressTrace& trace,
                                             const ExploreOptions& opt = {});
 
-/// Indices of the area/delay Pareto-optimal feasible points.
+/// Indices of the area/delay Pareto-optimal feasible points, in ascending
+/// index order.  Deterministic and side-effect free.
 std::vector<std::size_t> pareto_front(const std::vector<DesignPoint>& points);
 
-/// Fixed-width text table of the exploration result.
+/// Fixed-width text table of the exploration result.  Deterministic
+/// formatting (fixed precision, stable column order).
 std::string format_exploration(const std::vector<DesignPoint>& points);
 
 }  // namespace addm::core

@@ -16,6 +16,7 @@ std::uint64_t trace_fingerprint(const seq::AddressTrace& trace) {
 
 std::uint64_t options_fingerprint(const ExploreOptions& opt) {
   Fnv1a64 h;
+  h.u64(kOptionsFingerprintSeed);
   h.u64(static_cast<std::uint64_t>(opt.max_fanout));
   h.u64(opt.max_fsm_states);
   h.u64(opt.include_fsm ? 1 : 0);

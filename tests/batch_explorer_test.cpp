@@ -169,6 +169,25 @@ TEST(BatchExplorer, ReportsCoverEveryTraceAndParetoPoints) {
   EXPECT_NE(json.find("\"summary\""), std::string::npos);
 }
 
+TEST(BatchExplorer, ReportsContainOnlyInputDeterminedData) {
+  // The shard/merge and disk-cache determinism contracts require that
+  // evaluation and cache-hit counters never enter a serialized report: a
+  // warm rerun (different counters) must reproduce a cold run's bytes.
+  const auto traces = small_suite();
+  BatchExplorer batch(BatchOptions{});
+  const BatchResult cold = batch.run(traces);
+  const BatchResult warm = batch.run(traces);
+  EXPECT_EQ(cold.evaluations > 0, true);
+  EXPECT_EQ(warm.evaluations, 0u);
+  EXPECT_EQ(batch_report_json(cold), batch_report_json(warm));
+  EXPECT_EQ(batch_report_csv(cold), batch_report_csv(warm));
+  const std::string json = batch_report_json(cold);
+  EXPECT_EQ(json.find("evaluations"), std::string::npos);
+  EXPECT_EQ(json.find("cache_hits"), std::string::npos);
+  EXPECT_NE(json.find("\"summary\": {\"traces\": " + std::to_string(traces.size())),
+            std::string::npos);
+}
+
 TEST(BatchExplorer, OptionsChangeMissesTheCache) {
   // Same trace, different options => different cache key, so a fresh
   // BatchExplorer with other options re-evaluates rather than reusing.

@@ -1,0 +1,89 @@
+# End-to-end shard/cache determinism check, run as a ctest entry and by the
+# CI smoke job:
+#
+#   1. one unsharded addm_explore run (CSV + JSON reference reports)
+#   2. three --shard i/3 runs, each writing its own --cache-dir
+#   3. three more shard runs in the other format, served from those caches
+#      (so byte-equality below also proves the disk round trip is exact)
+#   4. addm_merge of the shard reports and of the three cache directories
+#   5. the merged reports must equal the unsharded ones byte-for-byte
+#   6. a rerun against the merged cache must report 100% disk hits and
+#      still reproduce the reference report
+#
+# Usage: cmake -DADDM_EXPLORE=... -DADDM_MERGE=... -DWORK_DIR=... -P this
+foreach(var ADDM_EXPLORE ADDM_MERGE WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=...")
+  endif()
+endforeach()
+
+set(SUITE 2)         # 2 geometries x 9 patterns = 18 traces
+set(TRACES 18)
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+macro(run_checked)
+  execute_process(COMMAND ${ARGN}
+    RESULT_VARIABLE _rc ERROR_VARIABLE _err OUTPUT_QUIET)
+  if(NOT _rc EQUAL 0)
+    message(FATAL_ERROR "command failed (rc=${_rc}): ${ARGN}\n${_err}")
+  endif()
+endmacro()
+
+macro(compare_files a b what)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${a} ${b}
+    RESULT_VARIABLE _cmp)
+  if(NOT _cmp EQUAL 0)
+    message(FATAL_ERROR "${what}: ${a} and ${b} differ")
+  endif()
+endmacro()
+
+# 1. Unsharded reference reports.
+run_checked(${ADDM_EXPLORE} --suite ${SUITE} --threads 4 --format json
+  --out ${WORK_DIR}/full.json --quiet)
+run_checked(${ADDM_EXPLORE} --suite ${SUITE} --threads 4 --format csv
+  --out ${WORK_DIR}/full.csv --quiet)
+
+# 2 + 3. Shard runs: JSON cold (populating the per-shard caches), then CSV
+# warm (served from them).
+set(JSON_SHARDS "")
+set(CSV_SHARDS "")
+foreach(i RANGE 2)
+  run_checked(${ADDM_EXPLORE} --suite ${SUITE} --threads 2 --shard ${i}/3
+    --cache-dir ${WORK_DIR}/cache_${i} --format json
+    --out ${WORK_DIR}/shard_${i}.json --quiet)
+  run_checked(${ADDM_EXPLORE} --suite ${SUITE} --threads 2 --shard ${i}/3
+    --cache-dir ${WORK_DIR}/cache_${i} --format csv
+    --out ${WORK_DIR}/shard_${i}.csv --quiet)
+  list(APPEND JSON_SHARDS ${WORK_DIR}/shard_${i}.json)
+  list(APPEND CSV_SHARDS ${WORK_DIR}/shard_${i}.csv)
+endforeach()
+
+# 4. Merge reports and caches.
+run_checked(${ADDM_MERGE} --format json --out ${WORK_DIR}/merged.json
+  ${JSON_SHARDS} --quiet)
+run_checked(${ADDM_MERGE} --format csv --out ${WORK_DIR}/merged.csv
+  ${CSV_SHARDS}
+  --cache-into ${WORK_DIR}/cache_merged
+  --cache ${WORK_DIR}/cache_0 --cache ${WORK_DIR}/cache_1
+  --cache ${WORK_DIR}/cache_2 --quiet)
+
+# 5. Byte-identical to the unsharded run.
+compare_files(${WORK_DIR}/merged.json ${WORK_DIR}/full.json "merged JSON report")
+compare_files(${WORK_DIR}/merged.csv ${WORK_DIR}/full.csv "merged CSV report")
+
+# 6. Rerun against the merged cache: zero evaluations, all disk hits, same
+# report bytes.
+execute_process(COMMAND ${ADDM_EXPLORE} --suite ${SUITE} --threads 4
+  --format json --out ${WORK_DIR}/warm.json --cache-dir ${WORK_DIR}/cache_merged
+  RESULT_VARIABLE rc ERROR_VARIABLE err OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "warm rerun failed (rc=${rc}):\n${err}")
+endif()
+if(NOT err MATCHES "\\(0 evaluated, 0 memo hits, ${TRACES} disk hits, 0 errors\\)")
+  message(FATAL_ERROR "warm rerun was not served entirely from the merged cache:\n${err}")
+endif()
+compare_files(${WORK_DIR}/warm.json ${WORK_DIR}/full.json "disk-warm JSON report")
+
+message(STATUS "shard determinism OK: 3 shards + merge == unsharded, warm rerun 100% disk hits")

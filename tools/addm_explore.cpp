@@ -12,7 +12,10 @@
 //   --trace-dir DIR   every *.trace file in DIR (sorted by name)
 //
 // The report is byte-identical for a given input list and options regardless
-// of --threads; timing goes to stderr only.
+// of --threads and of cache warmth; timing and cache statistics go to stderr
+// only.  --cache-dir persists evaluations across invocations, and --shard I/N
+// restricts the run to a deterministic contiguous slice of the input list so
+// N shard reports concatenate (via addm_merge) into the unsharded report.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -32,7 +35,9 @@
 namespace {
 
 using addm::tools::parse_geometry;
+using addm::tools::parse_shard;
 using addm::tools::parse_size;
+using addm::tools::ShardSpec;
 
 void usage(const char* argv0) {
   std::cerr
@@ -47,6 +52,8 @@ void usage(const char* argv0) {
       << "exploration:\n"
       << "  --threads N          worker threads (default: hardware)\n"
       << "  --no-cache           disable (trace, options) memoization\n"
+      << "  --cache-dir DIR      persistent evaluation cache shared across runs\n"
+      << "  --shard I/N          explore only shard I (0-based) of N\n"
       << "  --no-fsm             skip symbolic-FSM candidates\n"
       << "  --max-fsm-states N   FSM feasibility cap (default 1024)\n"
       << "  --max-fanout N       buffering fanout limit\n"
@@ -71,6 +78,8 @@ int main(int argc, char** argv) {
   std::string format = "csv";
   std::string out_path;
   bool quiet = false;
+  bool have_shard = false;
+  ShardSpec shard;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -107,6 +116,15 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--no-cache") {
       opt.memoize = false;
+    } else if (arg == "--cache-dir") {
+      opt.cache_dir = need_value();
+    } else if (arg == "--shard") {
+      if (!parse_shard(need_value(), shard)) {
+        std::cerr << argv[0] << ": --shard expects I/N with 0 <= I < N <= "
+                  << addm::tools::kMaxShards << " (e.g. 0/3)\n";
+        return 2;
+      }
+      have_shard = true;
     } else if (arg == "--no-fsm") {
       opt.explore.include_fsm = false;
     } else if (arg == "--max-fsm-states") {
@@ -138,9 +156,15 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!opt.memoize && !opt.cache_dir.empty()) {
+    std::cerr << argv[0] << ": --no-cache and --cache-dir are mutually exclusive\n";
+    return 2;
+  }
+
   std::vector<addm::seq::AddressTrace> traces;
   try {
-    if (suite_scales > 0) traces = addm::seq::scaled_suite(base, suite_scales);
+    std::vector<addm::seq::AddressTrace> suite;
+    if (suite_scales > 0) suite = addm::seq::scaled_suite(base, suite_scales);
     std::vector<std::string> files = trace_files;
     for (const std::string& dir : trace_dirs) {
       std::vector<std::string> found;
@@ -150,7 +174,31 @@ int main(int argc, char** argv) {
       std::sort(found.begin(), found.end());
       files.insert(files.end(), found.begin(), found.end());
     }
-    for (const std::string& f : files) {
+
+    // The input list is suite traces followed by file traces.  The shard
+    // slice is defined over list *positions*, so it is applied before any
+    // file is read: each shard process parses only the traces it owns, and
+    // an empty slice is a valid (empty-report) run.  Report rows depend
+    // only on trace content and names — suite names and file stems, both
+    // position-independent — so shard outputs concatenate byte-identically.
+    const std::size_t total = suite.size() + files.size();
+    if (total == 0) {
+      std::cerr << argv[0]
+                << ": no input traces (use --suite, --trace or --trace-dir)\n";
+      usage(argv[0]);
+      return 2;
+    }
+    std::size_t begin = 0;
+    std::size_t end = total;
+    if (have_shard) {
+      const auto range = shard.range(total);
+      begin = range.first;
+      end = range.second;
+    }
+    for (std::size_t i = begin; i < end && i < suite.size(); ++i)
+      traces.push_back(std::move(suite[i]));
+    for (std::size_t i = std::max(begin, suite.size()); i < end; ++i) {
+      const std::string& f = files[i - suite.size()];
       auto t = addm::seq::read_trace_file(f);
       if (t.name().empty())
         t.set_name(std::filesystem::path(f).stem().string());
@@ -159,11 +207,6 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::cerr << argv[0] << ": " << e.what() << "\n";
     return 1;
-  }
-  if (traces.empty()) {
-    std::cerr << argv[0] << ": no input traces (use --suite, --trace or --trace-dir)\n";
-    usage(argv[0]);
-    return 2;
   }
 
   addm::core::BatchResult result;
@@ -203,13 +246,17 @@ int main(int argc, char** argv) {
     if (!e.error.empty()) ++errors;
   if (!quiet) {
     std::fprintf(stderr,
-                 "explored %zu traces (%zu evaluated, %zu cache hits, %zu errors) "
-                 "in %.3fs with %zu threads\n",
-                 result.traces, result.evaluations, result.cache_hits, errors,
-                 result.wall_seconds,
+                 "explored %zu traces (%zu evaluated, %zu memo hits, %zu disk hits, "
+                 "%zu errors) in %.3fs with %zu threads\n",
+                 result.traces, result.evaluations, result.cache_hits,
+                 result.disk_hits, errors, result.wall_seconds,
                  opt.threads ? opt.threads
                              : static_cast<std::size_t>(
                                    std::max(1u, std::thread::hardware_concurrency())));
+    if (!opt.cache_dir.empty())
+      std::fprintf(stderr, "cache %s: %zu entries loaded, %zu stored\n",
+                   opt.cache_dir.c_str(), result.disk_entries_loaded,
+                   result.disk_entries_stored);
   }
   return errors == 0 ? 0 : 3;
 }

@@ -5,7 +5,10 @@
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <utility>
 
 #include "seq/trace.hpp"
 
@@ -39,5 +42,47 @@ inline bool parse_geometry(const char* s, seq::ArrayGeometry& g) {
 /// Upper bound on --threads: far above any real machine, low enough that a
 /// typo cannot ask the thread pool for billions of workers.
 inline constexpr std::size_t kMaxThreads = 1024;
+
+/// Slurps a file in binary mode.  Returns false when the file cannot be
+/// opened or the read fails partway.
+inline bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream os;
+  os << in.rdbuf();
+  if (in.bad()) return false;
+  out = os.str();
+  return true;
+}
+
+/// Upper bound on the --shard count: generous for any real fleet, and low
+/// enough that len*count cannot overflow std::size_t in ShardSpec::range.
+inline constexpr std::size_t kMaxShards = 4096;
+
+/// "I/N" shard spec with 0 <= I < N and 1 <= N <= kMaxShards, e.g. "0/3".
+/// Shard I of N owns the contiguous block [I*len/N, (I+1)*len/N) of the
+/// input trace list, so concatenating the per-shard reports in shard order
+/// reproduces the unsharded report byte-for-byte (see docs/cache-format.md).
+struct ShardSpec {
+  std::size_t index = 0;
+  std::size_t count = 1;
+
+  /// The half-open range this shard owns out of `n` items.
+  std::pair<std::size_t, std::size_t> range(std::size_t n) const {
+    return {n * index / count, n * (index + 1) / count};
+  }
+};
+
+inline bool parse_shard(const char* s, ShardSpec& out) {
+  const char* slash = std::strchr(s, '/');
+  if (!slash) return false;
+  const std::string i(s, slash);
+  std::size_t iv = 0, nv = 0;
+  if (!parse_size(i.c_str(), iv) || !parse_size(slash + 1, nv)) return false;
+  if (nv == 0 || nv > kMaxShards || iv >= nv) return false;
+  out.index = iv;
+  out.count = nv;
+  return true;
+}
 
 }  // namespace addm::tools
