@@ -1,0 +1,61 @@
+// Single-trace intra-exploration parallelism: wall-clock of one
+// explore_generators call across ExploreOptions::arch_threads values, on an
+// FSM-heavy scaled_suite trace (the three symbolic-FSM elaborations dominate
+// beyond ~1k states, so fanning candidates out pays off even for a lone
+// trace that the batch layer's per-trace parallelism cannot touch).
+// Real-time measured: the work moves onto pool threads.
+#include <benchmark/benchmark.h>
+
+#include <stdexcept>
+
+#include "core/explorer.hpp"
+#include "seq/workloads.hpp"
+
+namespace {
+
+using namespace addm;
+
+// The largest incremental trace of a scaled suite: 1024 states at 32x32,
+// which sits exactly at the default max_fsm_states cap — every FSM
+// candidate elaborates, none is skipped.
+const seq::AddressTrace& fsm_heavy_trace() {
+  static const seq::AddressTrace trace = [] {
+    for (const auto& t : seq::scaled_suite({32, 32}, 1))
+      if (t.name().rfind("incremental", 0) == 0) return t;
+    throw std::logic_error("scaled_suite lost its incremental trace");
+  }();
+  return trace;
+}
+
+void BM_ExploreSingleTrace(benchmark::State& state) {
+  core::ExploreOptions opt;
+  opt.arch_threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::explore_generators(fsm_heavy_trace(), opt).size());
+}
+BENCHMARK(BM_ExploreSingleTrace)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// The FSM candidates alone (the dominant cost): the ideal-speedup ceiling
+// for the run above is bounded by the slowest single candidate.
+void BM_ExploreFsmOnly(benchmark::State& state) {
+  core::ExploreOptions opt;
+  opt.archs = {"FSM-binary", "FSM-gray", "FSM-onehot"};
+  opt.arch_threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::explore_generators(fsm_heavy_trace(), opt).size());
+}
+BENCHMARK(BM_ExploreFsmOnly)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -160,6 +160,16 @@ BatchResult BatchExplorer::run(const std::vector<seq::AddressTrace>& traces) {
     }
   }
 
+  // Two-level scheduler: opt_.threads is the TOTAL thread budget.  The
+  // inner level (per-trace candidate fan-out, ExploreOptions::arch_threads)
+  // gets its request capped at the budget; the outer level (traces) gets
+  // budget / inner workers, so outer × inner never oversubscribes.  Pure
+  // scheduling — fingerprints ignore arch_threads and every split yields
+  // byte-identical entries.
+  const ThreadSplit split = split_threads(opt_.threads, opt_.explore.arch_threads);
+  ExploreOptions worker_opt = opt_.explore;
+  worker_opt.arch_threads = split.inner;
+
   std::mutex stats_mu;
   std::size_t evaluations = 0;
   std::size_t cache_hits = 0;
@@ -178,7 +188,7 @@ BatchResult BatchExplorer::run(const std::vector<seq::AddressTrace>& traces) {
 
     std::shared_ptr<const Outcome> outcome;
     if (!opt_.memoize) {
-      outcome = evaluate_trace(trace, opt_.explore);
+      outcome = evaluate_trace(trace, worker_opt);
       std::lock_guard<std::mutex> lk(stats_mu);
       ++evaluations;
     } else {
@@ -198,7 +208,7 @@ BatchResult BatchExplorer::run(const std::vector<seq::AddressTrace>& traces) {
         future = it->second;
       }
       if (owner) {
-        auto computed = evaluate_trace(trace, opt_.explore);
+        auto computed = evaluate_trace(trace, worker_opt);
         promise.set_value(computed);
         std::lock_guard<std::mutex> lk(stats_mu);
         ++evaluations;
@@ -219,13 +229,19 @@ BatchResult BatchExplorer::run(const std::vector<seq::AddressTrace>& traces) {
     entry.error = outcome->error;
   };
 
-  ThreadPool pool(opt_.threads);
+  ThreadPool pool(split.outer);
   pool.parallel_for(traces.size(), work);
 
   // Flush: persist this run's newly computed successes.  Errors are never
   // cached (a transient failure must not become permanent), and I/O errors
-  // only cost the entry.
+  // only cost the entry.  Owners finish — and, with duplicated traces, are
+  // even *chosen* — in scheduling order, so sort the flush by cache key
+  // first: cache directories (index.txt line order included) then come out
+  // byte-identical at every thread split.  Keys in `fresh` are unique (one
+  // owner per key), so the order is total.
   if (use_disk && !fresh.empty()) {
+    std::sort(fresh.begin(), fresh.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
     EvalCacheDir store(opt_.cache_dir);
     for (const auto& [trace_fp, outcome] : fresh) {
       EvalCacheEntry e;

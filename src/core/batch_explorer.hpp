@@ -5,10 +5,13 @@
 //
 // Determinism contract: for a fixed input trace list and options, the
 // BatchResult entries — and therefore batch_report_csv / batch_report_json —
-// are byte-identical regardless of thread count, scheduling, or cache state
-// (cold, memo-warm, or disk-warm).  Entries are ordered by input position;
-// nothing schedule- or cache-dependent (timings, worker ids, hit counts)
-// enters the serialized reports.  Cache statistics live only in BatchResult
+// are byte-identical regardless of thread count (outer `threads` and inner
+// `explore.arch_threads` alike), scheduling, or cache state (cold,
+// memo-warm, or disk-warm); newly flushed cache directories are likewise
+// byte-identical (entries are canonical and the index is written in cache-
+// key order).  Entries are ordered by input position; nothing schedule- or
+// cache-dependent (timings, worker ids, hit counts) enters the serialized
+// reports.  Cache statistics live only in BatchResult
 // fields: they are deterministic for a fixed input and cache state, but a
 // warm disk cache turns evaluations into disk_hits, so they are *not* part
 // of any report.  This is what makes sharded runs mergeable byte-for-byte
@@ -28,8 +31,13 @@ namespace addm::core {
 /// Configuration for one BatchExplorer.  Value type; copying is cheap
 /// relative to an exploration.
 struct BatchOptions {
+  /// Per-trace exploration knobs.  `explore.arch_threads` requests the
+  /// inner (per-trace candidate) parallelism level; run() feeds it and
+  /// `threads` through split_threads (core/thread_pool) so outer × inner
+  /// workers never exceed the `threads` budget.
   ExploreOptions explore;
-  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  /// TOTAL worker-thread budget across both scheduling levels (traces ×
+  /// architectures); 0 means std::thread::hardware_concurrency().
   std::size_t threads = 0;
   /// Reuse results across identical (trace, options) pairs, including across
   /// successive run() calls on the same BatchExplorer.

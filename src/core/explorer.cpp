@@ -1,6 +1,7 @@
 #include "core/explorer.hpp"
 
 #include <algorithm>
+#include <exception>
 #include <sstream>
 
 #include "core/cntag.hpp"
@@ -8,6 +9,7 @@
 #include "core/sfm.hpp"
 #include "core/srag_elab.hpp"
 #include "core/srag_mapper.hpp"
+#include "core/thread_pool.hpp"
 #include "synth/fsm.hpp"
 
 namespace addm::core {
@@ -72,13 +74,10 @@ bool is_fifo(const seq::AddressTrace& trace) {
   return true;
 }
 
-}  // namespace
+bool always(const seq::AddressTrace&, const ExploreOptions&) { return true; }
 
-std::vector<DesignPoint> explore_generators(const seq::AddressTrace& trace,
-                                            const ExploreOptions& opt) {
-  std::vector<DesignPoint> points;
-
-  // SRAG (two-hot).
+DesignPoint elaborate_srag_point(const seq::AddressTrace& trace,
+                                 const ExploreOptions& opt) {
   try {
     Srag2dBuild srag = build_srag_2d_for_trace(trace);
     std::ostringstream note;
@@ -86,75 +85,147 @@ std::vector<DesignPoint> explore_generators(const seq::AddressTrace& trace,
          << " ffs dC=" << srag.row.div_count << " pC=" << srag.row.pass_count
          << "; col: " << srag.col.num_registers() << " regs/" << srag.col.num_flipflops()
          << " ffs dC=" << srag.col.div_count << " pC=" << srag.col.pass_count;
-    points.push_back(
-        measured_point("SRAG", std::move(srag.netlist), opt, note.str()));
+    return measured_point("SRAG", std::move(srag.netlist), opt, note.str());
   } catch (const std::invalid_argument& e) {
-    points.push_back(infeasible_point("SRAG", e.what()));
+    return infeasible_point("SRAG", e.what());
   }
+}
 
-  // Multi-counter SRAG.
-  {
-    const auto rows = trace.rows();
-    const auto cols = trace.cols();
-    auto row_map = map_sequence_multicounter(
-        rows, static_cast<std::uint32_t>(trace.geometry().height));
-    auto col_map = map_sequence_multicounter(
-        cols, static_cast<std::uint32_t>(trace.geometry().width));
-    if (row_map.ok() && col_map.ok()) {
-      Netlist nl;
-      NetlistBuilder b(nl);
-      const NetId next = b.input("next");
-      const NetId reset = b.input("reset");
-      const auto rp = build_multi_srag(b, *row_map.config, next, reset);
-      const auto cp = build_multi_srag(b, *col_map.config, next, reset);
-      b.output_bus("rs", rp.select);
-      b.output_bus("cs", cp.select);
-      points.push_back(measured_point("SRAG-multicounter", std::move(nl), opt));
-    } else {
-      points.push_back(infeasible_point(
-          "SRAG-multicounter",
-          !row_map.ok() ? "row: " + row_map.detail : "col: " + col_map.detail));
-    }
+DesignPoint elaborate_multicounter_point(const seq::AddressTrace& trace,
+                                         const ExploreOptions& opt) {
+  const auto rows = trace.rows();
+  const auto cols = trace.cols();
+  auto row_map = map_sequence_multicounter(
+      rows, static_cast<std::uint32_t>(trace.geometry().height));
+  auto col_map = map_sequence_multicounter(
+      cols, static_cast<std::uint32_t>(trace.geometry().width));
+  if (!row_map.ok() || !col_map.ok()) {
+    return infeasible_point(
+        "SRAG-multicounter",
+        !row_map.ok() ? "row: " + row_map.detail : "col: " + col_map.detail);
   }
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId next = b.input("next");
+  const NetId reset = b.input("reset");
+  const auto rp = build_multi_srag(b, *row_map.config, next, reset);
+  const auto cp = build_multi_srag(b, *col_map.config, next, reset);
+  b.output_bus("rs", rp.select);
+  b.output_bus("cs", cp.select);
+  return measured_point("SRAG-multicounter", std::move(nl), opt);
+}
 
-  // CntAG variants.
-  {
+GeneratorEntry cntag_entry(std::string name, synth::DecoderStyle style,
+                           std::string note) {
+  GeneratorEntry e;
+  e.name = name;
+  e.applicable = always;
+  e.elaborate = [name, style, note](const seq::AddressTrace& trace,
+                                    const ExploreOptions& opt) {
     CntAgOptions copt;
-    copt.decoder_style = synth::DecoderStyle::Flat;
-    points.push_back(
-        measured_point("CntAG-flat", elaborate_cntag(trace, copt), opt, "flat decoders"));
-    copt.decoder_style = synth::DecoderStyle::SharedChain;
-    points.push_back(measured_point("CntAG-shared", elaborate_cntag(trace, copt), opt,
-                                    "shared chain decoders (2002 flow)"));
-    copt.decoder_style = synth::DecoderStyle::SharedBalanced;
-    points.push_back(measured_point("CntAG-predecoded", elaborate_cntag(trace, copt), opt,
-                                    "balanced predecoders (modern flow)"));
-  }
+    copt.decoder_style = style;
+    return measured_point(name, elaborate_cntag(trace, copt), opt, note);
+  };
+  return e;
+}
 
-  // Symbolic FSMs.
-  if (opt.include_fsm) {
-    const char* names[] = {"FSM-binary", "FSM-gray", "FSM-onehot"};
-    const synth::FsmEncoding encs[] = {synth::FsmEncoding::Binary, synth::FsmEncoding::Gray,
-                                       synth::FsmEncoding::OneHot};
-    for (int k = 0; k < 3; ++k) {
-      if (trace.length() > opt.max_fsm_states) {
-        points.push_back(infeasible_point(
-            names[k], "synthesis impractical beyond " +
-                          std::to_string(opt.max_fsm_states) + " states (sequence has " +
-                          std::to_string(trace.length()) + ")"));
-        continue;
-      }
-      points.push_back(measured_point(names[k], elaborate_fsm_2d(trace, encs[k]), opt));
+GeneratorEntry fsm_entry(std::string name, synth::FsmEncoding enc) {
+  GeneratorEntry e;
+  e.name = name;
+  e.applicable = [](const seq::AddressTrace&, const ExploreOptions& opt) {
+    return opt.include_fsm;
+  };
+  e.elaborate = [name, enc](const seq::AddressTrace& trace, const ExploreOptions& opt) {
+    if (trace.length() > opt.max_fsm_states) {
+      return infeasible_point(
+          name, "synthesis impractical beyond " + std::to_string(opt.max_fsm_states) +
+                    " states (sequence has " + std::to_string(trace.length()) + ")");
     }
+    return measured_point(name, elaborate_fsm_2d(trace, enc), opt);
+  };
+  return e;
+}
+
+DesignPoint elaborate_sfm_point(const seq::AddressTrace& trace,
+                                const ExploreOptions& opt) {
+  if (!is_fifo(trace))
+    return infeasible_point("SFM", "SFM supports FIFO access only");
+  return measured_point("SFM", elaborate_sfm(trace.geometry().size()), opt,
+                        "one-hot FIFO pointers (1-D memory)");
+}
+
+std::vector<GeneratorEntry> build_registry() {
+  std::vector<GeneratorEntry> reg;
+  reg.push_back({"SRAG", always, elaborate_srag_point});
+  reg.push_back({"SRAG-multicounter", always, elaborate_multicounter_point});
+  reg.push_back(cntag_entry("CntAG-flat", synth::DecoderStyle::Flat, "flat decoders"));
+  reg.push_back(cntag_entry("CntAG-shared", synth::DecoderStyle::SharedChain,
+                            "shared chain decoders (2002 flow)"));
+  reg.push_back(cntag_entry("CntAG-predecoded", synth::DecoderStyle::SharedBalanced,
+                            "balanced predecoders (modern flow)"));
+  reg.push_back(fsm_entry("FSM-binary", synth::FsmEncoding::Binary));
+  reg.push_back(fsm_entry("FSM-gray", synth::FsmEncoding::Gray));
+  reg.push_back(fsm_entry("FSM-onehot", synth::FsmEncoding::OneHot));
+  reg.push_back({"SFM", always, elaborate_sfm_point});
+  return reg;
+}
+
+}  // namespace
+
+const std::vector<GeneratorEntry>& generator_registry() {
+  static const std::vector<GeneratorEntry> registry = build_registry();
+  return registry;
+}
+
+std::vector<std::string> generator_names() {
+  std::vector<std::string> names;
+  for (const GeneratorEntry& e : generator_registry()) names.push_back(e.name);
+  return names;
+}
+
+std::vector<DesignPoint> explore_generators(const seq::AddressTrace& trace,
+                                            const ExploreOptions& opt) {
+  // Select in registry order; the selection depends only on (trace, opt),
+  // never on scheduling, so the slot layout of `points` is fixed up front.
+  std::vector<const GeneratorEntry*> selected;
+  for (const GeneratorEntry& e : generator_registry()) {
+    if (!opt.archs.empty() &&
+        std::find(opt.archs.begin(), opt.archs.end(), e.name) == opt.archs.end())
+      continue;
+    if (!e.applicable(trace, opt)) continue;
+    selected.push_back(&e);
   }
 
-  // SFM.
-  if (is_fifo(trace)) {
-    points.push_back(measured_point("SFM", elaborate_sfm(trace.geometry().size()), opt,
-                                    "one-hot FIFO pointers (1-D memory)"));
-  } else {
-    points.push_back(infeasible_point("SFM", "SFM supports FIFO access only"));
+  std::vector<DesignPoint> points(selected.size());
+  std::vector<std::exception_ptr> errors(selected.size());
+  auto run_one = [&](std::size_t i) {
+    try {
+      points[i] = selected[i]->elaborate(trace, opt);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  };
+
+  std::size_t want = opt.arch_threads;
+  if (want == 0) {
+    want = std::thread::hardware_concurrency();
+    if (want == 0) want = 1;
   }
+  want = std::min(want, selected.size());
+  if (want <= 1) {
+    for (std::size_t i = 0; i < selected.size(); ++i) run_one(i);
+  } else {
+    // Each entry is a leaf task writing only its own slot; the pool is local
+    // to this call, so nesting under a batch worker cannot deadlock.
+    ThreadPool pool(want);
+    pool.parallel_for(selected.size(), run_one);
+  }
+
+  // A degenerate trace may fail several entries on different threads;
+  // rethrow the first failure in registry order so callers (and their
+  // serialized error strings) see the same exception at every thread count.
+  for (std::exception_ptr& e : errors)
+    if (e) std::rethrow_exception(e);
   return points;
 }
 
@@ -184,14 +255,20 @@ std::string format_exploration(const std::vector<DesignPoint>& points) {
   auto on_front = [&](std::size_t i) {
     return std::find(front.begin(), front.end(), i) != front.end();
   };
+  const std::string name_header = "architecture";
+  std::size_t name_w = name_header.size();
+  for (const DesignPoint& p : points) name_w = std::max(name_w, p.architecture.size());
+  name_w += 2;
   std::ostringstream os;
   os.precision(3);
   os << std::fixed;
-  os << "architecture        feasible  area(units)  delay(ns)  pareto  note\n";
+  os << name_header;
+  for (std::size_t pad = name_header.size(); pad < name_w; ++pad) os << ' ';
+  os << "feasible  area(units)  delay(ns)  pareto  note\n";
   for (std::size_t i = 0; i < points.size(); ++i) {
     const DesignPoint& p = points[i];
     os << p.architecture;
-    for (std::size_t pad = p.architecture.size(); pad < 20; ++pad) os << ' ';
+    for (std::size_t pad = p.architecture.size(); pad < name_w; ++pad) os << ' ';
     if (p.feasible) {
       std::ostringstream area, delay;
       area.precision(0);

@@ -2,7 +2,7 @@
 // trace, evaluate every applicable generator architecture at a high level
 // and report the area/delay landscape plus its Pareto front.
 //
-// Candidate architectures:
+// Candidate architectures (see generator_registry() for the live table):
 //  * SRAG (two-hot, Section 4)           — needs both dimensions mappable
 //  * multi-counter SRAG (Section 4 ext.) — relaxed PassCnt restriction
 //  * CntAG, flat decoders (baseline)     — always applicable
@@ -11,8 +11,20 @@
 //    it the point is reported infeasible ("synthesis impractical", matching
 //    the paper's Section-3 observation)
 //  * SFM (Aloqeely)                      — FIFO traces only
+//
+// Determinism contract: explore_generators is a pure function of
+// (trace, result-affecting ExploreOptions fields).  Candidates are
+// independent tasks drawn from a stable-ordered registry; the driver may
+// evaluate them on any thread in any order (ExploreOptions::arch_threads),
+// but points are always reassembled in registry order, so the returned
+// vector is byte-identical across runs, hosts, thread counts, and
+// scheduling.  Scheduling knobs (arch_threads) are therefore excluded from
+// options_fingerprint; subset selection (archs) changes the output and is
+// fingerprinted.  Everything below — the batch explorer's reports, the
+// persistent evaluation cache, shard merging — leans on this contract.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -32,24 +44,66 @@ struct DesignPoint {
   GeneratorMetrics metrics;  ///< zero-initialized when infeasible
 };
 
-/// Knobs that affect exploration output.  Every result-affecting field MUST
-/// be covered by options_fingerprint (core/fingerprint.hpp) — the persistent
+/// Knobs that affect exploration.  Every result-affecting field MUST be
+/// covered by options_fingerprint (core/fingerprint.hpp) — the persistent
 /// cache relies on that hash as its only invalidation mechanism.
+/// Scheduling-only fields (arch_threads) MUST stay out of it, so that a
+/// differently-parallelized run reuses the same cache entries.
 struct ExploreOptions {
   tech::Library library = tech::Library::generic_180nm();
   int max_fanout = tech::kDefaultMaxFanout;
   /// FSM candidates are skipped above this many states (sequence length).
   std::size_t max_fsm_states = 1024;
   bool include_fsm = true;
+  /// Candidate subset by registry name; empty selects every entry.  Names
+  /// not in the registry select nothing.  Output-affecting: fingerprinted
+  /// in canonical (registry-order, deduplicated) form, so a filtered run
+  /// never shares cache keys with a full run.
+  std::vector<std::string> archs;
+  /// Threads used to evaluate candidates of ONE trace (0 = hardware
+  /// concurrency, 1 = serial on the calling thread).  Pure scheduling: any
+  /// value produces byte-identical points, and the field is excluded from
+  /// options_fingerprint.  The batch explorer overrides this per worker via
+  /// split_threads so outer × inner never exceeds its thread budget.
+  std::size_t arch_threads = 1;
 };
 
+/// One self-describing candidate architecture in the registry.  Both
+/// callables are pure functions of their arguments and thread-safe for
+/// concurrent invocation; `elaborate` returns an infeasible point (never
+/// throws) for per-candidate rejection, and throws only for degenerate
+/// traces that no candidate could process.
+struct GeneratorEntry {
+  /// Stable label; doubles as the `archs` filter key and the report value.
+  std::string name;
+  /// Whether this candidate produces a point at all under `opt` (e.g. FSM
+  /// entries disappear when include_fsm is false).  Per-trace rejection is
+  /// NOT applicability: an over-budget FSM or a non-FIFO SFM stays
+  /// applicable and reports an infeasible point.
+  std::function<bool(const seq::AddressTrace&, const ExploreOptions&)> applicable;
+  /// Maps + elaborates + measures the candidate for `trace`.
+  std::function<DesignPoint(const seq::AddressTrace&, const ExploreOptions&)> elaborate;
+};
+
+/// The stable-ordered candidate table.  The order is part of the output
+/// contract: explore_generators returns points in registry order, reports
+/// render rows in registry order, and the canonical `archs` fingerprint
+/// form is the registry-order intersection.  Append-only across versions;
+/// reordering or renaming entries requires a kOptionsFingerprintSeed bump
+/// (core/fingerprint.hpp).
+const std::vector<GeneratorEntry>& generator_registry();
+
+/// Registry names, in registry order — the valid `archs` values.
+std::vector<std::string> generator_names();
+
 /// Evaluates every applicable candidate architecture for `trace` and
-/// returns one DesignPoint per candidate, in a fixed candidate order.
+/// returns one DesignPoint per candidate, in registry order.
 /// Deterministic: equal (trace, opt) inputs produce equal output, byte for
-/// byte, across runs and hosts.  Thread-safe for concurrent calls (shared
-/// state is read-only); a single call runs on the calling thread.  May
-/// throw (std::invalid_argument and friends) on degenerate traces, e.g.
-/// empty ones; per-candidate infeasibility is reported in the points, not
+/// byte, across runs, hosts, and every arch_threads value.  Thread-safe
+/// for concurrent calls (shared state is read-only).  May throw
+/// (std::invalid_argument and friends) on degenerate traces, e.g. empty
+/// ones — deterministically, the first failing entry in registry order —
+/// while per-candidate infeasibility is reported in the points, not
 /// thrown.
 std::vector<DesignPoint> explore_generators(const seq::AddressTrace& trace,
                                             const ExploreOptions& opt = {});
@@ -59,7 +113,9 @@ std::vector<DesignPoint> explore_generators(const seq::AddressTrace& trace,
 std::vector<std::size_t> pareto_front(const std::vector<DesignPoint>& points);
 
 /// Fixed-width text table of the exploration result.  Deterministic
-/// formatting (fixed precision, stable column order).
+/// formatting (fixed precision, stable column order); the architecture
+/// column widens to the longest name plus two spaces, so long names never
+/// collide with the feasible column.
 std::string format_exploration(const std::vector<DesignPoint>& points);
 
 }  // namespace addm::core

@@ -1,5 +1,7 @@
 #include "core/fingerprint.hpp"
 
+#include <algorithm>
+
 #include "netlist/cell.hpp"
 #include "tech/library.hpp"
 
@@ -20,6 +22,26 @@ std::uint64_t options_fingerprint(const ExploreOptions& opt) {
   h.u64(static_cast<std::uint64_t>(opt.max_fanout));
   h.u64(opt.max_fsm_states);
   h.u64(opt.include_fsm ? 1 : 0);
+  // arch_threads is pure scheduling (byte-identical output at any value) and
+  // is deliberately NOT hashed: parallel and serial runs share cache keys.
+  // An archs subset changes which points exist, so it is hashed — in
+  // canonical form (registry-order intersection, deduplicated, and a
+  // filter selecting the whole registry collapses to no filter), making
+  // every equal-output spelling share one key.  The no-filter form hashes
+  // nothing, which keeps default-option fingerprints identical to those of
+  // releases that predate the field.
+  if (!opt.archs.empty()) {
+    std::vector<std::string> selected;
+    const std::vector<std::string> names = generator_names();
+    for (const std::string& name : names) {
+      if (std::find(opt.archs.begin(), opt.archs.end(), name) != opt.archs.end())
+        selected.push_back(name);
+    }
+    if (selected.size() != names.size()) {
+      h.str("archs");
+      for (const std::string& name : selected) h.str(name);
+    }
+  }
   for (int t = 0; t < static_cast<int>(netlist::kNumCellTypes); ++t) {
     const tech::CellParams& p = opt.library.params(static_cast<netlist::CellType>(t));
     h.f64(p.area);

@@ -7,6 +7,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -355,6 +356,75 @@ TEST(EvalCacheBatch, CorruptedCacheDegradesToReevaluation) {
   const BatchResult healed = BatchExplorer(opt).run(traces);
   EXPECT_EQ(healed.evaluations, 0u);
   EXPECT_EQ(healed.disk_hits, traces.size());
+}
+
+TEST(EvalCacheBatch, FilteredRunNeverPoisonsAFullRunsCache) {
+  // An --archs subset produces a different (smaller) point vector for the
+  // same trace, so it must live under a different cache key: a full-options
+  // run after a filtered one must see zero disk hits, and vice versa.
+  const std::string dir = fresh_dir("batch_archs");
+  const auto traces = seq::standard_suite({8, 8});
+
+  BatchOptions filtered;
+  filtered.threads = 2;
+  filtered.cache_dir = dir;
+  filtered.explore.archs = {"SRAG", "CntAG-flat"};
+  const BatchResult f = BatchExplorer(filtered).run(traces);
+  EXPECT_GT(f.disk_entries_stored, 0u);
+
+  BatchOptions full;
+  full.threads = 2;
+  full.cache_dir = dir;
+  BatchExplorer full_explorer(full);
+  const BatchResult cold = full_explorer.run(traces);
+  EXPECT_EQ(cold.disk_hits, 0u);
+  EXPECT_EQ(cold.disk_entries_loaded, 0u);
+  EXPECT_GT(cold.evaluations, 0u);
+  const std::size_t full_points = generator_names().size();
+  for (const auto& e : cold.entries) EXPECT_EQ(e.points.size(), full_points);
+
+  // Both option sets now coexist in one directory; each rerun is warm.
+  const BatchResult warm_full = BatchExplorer(full).run(traces);
+  EXPECT_EQ(warm_full.evaluations, 0u);
+  EXPECT_EQ(warm_full.disk_hits, traces.size());
+  const BatchResult warm_filtered = BatchExplorer(filtered).run(traces);
+  EXPECT_EQ(warm_filtered.evaluations, 0u);
+  EXPECT_EQ(warm_filtered.disk_hits, traces.size());
+  EXPECT_EQ(batch_report_csv(warm_filtered), batch_report_csv(f));
+}
+
+TEST(EvalCacheBatch, CacheDirectoryBytesIndependentOfThreadSplit) {
+  // Entry files are canonical and the flush is sorted by cache key, so two
+  // cold runs with different thread splits must write byte-identical
+  // directories — the property the arch_determinism ctest entry enforces
+  // end-to-end through the CLI.  Duplicated traces are the hard case: with
+  // threads > 1 even the evaluation *owner* of a duplicated key is a race,
+  // so any schedule-derived flush order would leak into index.txt.
+  auto traces = seq::standard_suite({8, 8});
+  traces.push_back(traces[0]);
+  traces.insert(traces.begin(), traces[2]);
+  auto populate = [&](const std::string& name, std::size_t threads,
+                      std::size_t arch_threads) {
+    const std::string dir = fresh_dir(name);
+    BatchOptions opt;
+    opt.threads = threads;
+    opt.explore.arch_threads = arch_threads;
+    opt.cache_dir = dir;
+    BatchExplorer(opt).run(traces);
+    std::map<std::string, std::string> files;
+    for (const auto& f : fs::directory_iterator(dir)) {
+      std::ifstream in(f.path(), std::ios::binary);
+      std::ostringstream body;
+      body << in.rdbuf();
+      files[f.path().filename().string()] = body.str();
+    }
+    return files;
+  };
+  const auto reference = populate("split_ref", 1, 1);
+  EXPECT_FALSE(reference.empty());
+  EXPECT_EQ(populate("split_a", 4, 1), reference);
+  EXPECT_EQ(populate("split_b", 4, 2), reference);
+  EXPECT_EQ(populate("split_c", 1, 8), reference);
 }
 
 }  // namespace

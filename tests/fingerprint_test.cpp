@@ -39,6 +39,58 @@ TEST(Fingerprint, TraceHashStableAcrossRuns) {
   EXPECT_NE(once, 0u);
 }
 
+TEST(Fingerprint, PinnedValuesForCacheCompatibility) {
+  // Persisted-cache compatibility across code changes: these exact values
+  // were produced by the pre-registry-refactor explorer.  If either
+  // changes, every existing cache directory silently goes cold — that must
+  // be a deliberate kOptionsFingerprintSeed bump, never an accident.
+  EXPECT_EQ(options_fingerprint(ExploreOptions{}), 0x80f73374c170bfacull);
+  EXPECT_EQ(trace_fingerprint(seq::incremental({8, 8})), 0x0484d9da654efdc5ull);
+}
+
+TEST(Fingerprint, ArchThreadsIsSchedulingOnlyAndNotHashed) {
+  // arch_threads never changes exploration output, so serial and parallel
+  // runs must share cache entries.
+  const ExploreOptions base;
+  for (std::size_t t : {0u, 1u, 2u, 64u}) {
+    ExploreOptions o = base;
+    o.arch_threads = t;
+    EXPECT_EQ(options_fingerprint(o), options_fingerprint(base)) << t;
+  }
+}
+
+TEST(Fingerprint, ArchsSubsetsGetDistinctCanonicalKeys) {
+  const ExploreOptions base;
+  const std::uint64_t full = options_fingerprint(base);
+
+  ExploreOptions srag = base;
+  srag.archs = {"SRAG"};
+  EXPECT_NE(options_fingerprint(srag), full);
+
+  ExploreOptions pair = base;
+  pair.archs = {"SRAG", "SFM"};
+  EXPECT_NE(options_fingerprint(pair), full);
+  EXPECT_NE(options_fingerprint(pair), options_fingerprint(srag));
+
+  // Canonicalization: order and duplicates don't matter, so equivalent
+  // subsets (identical output) share one cache key.
+  ExploreOptions swapped = base;
+  swapped.archs = {"SFM", "SRAG", "SFM"};
+  EXPECT_EQ(options_fingerprint(swapped), options_fingerprint(pair));
+
+  // A non-empty filter that selects nothing still differs from "no filter".
+  ExploreOptions unknown = base;
+  unknown.archs = {"no-such-architecture"};
+  EXPECT_NE(options_fingerprint(unknown), full);
+
+  // ... but a filter spelling out the whole registry produces the same
+  // output as no filter, so it must collapse to the same key and stay warm
+  // against a default-run cache.
+  ExploreOptions everything = base;
+  everything.archs = generator_names();
+  EXPECT_EQ(options_fingerprint(everything), full);
+}
+
 TEST(Fingerprint, OptionsHashSeesEveryExplorationField) {
   const ExploreOptions base;
   const std::uint64_t h0 = options_fingerprint(base);

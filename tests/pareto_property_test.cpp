@@ -1,0 +1,123 @@
+// Randomized property tests for pareto_front, pinning the semantics the
+// registry-parallel explorer rewrite must preserve:
+//  * no front member is dominated by any feasible point;
+//  * every feasible non-member is dominated by some front *member*
+//    (dominance is transitive, so exclusion always has a front witness);
+//  * infeasible points never appear on the front;
+//  * the front is invariant under permutation of the input (as a point
+//    set), and indices come back sorted ascending.
+// Deliberately small metric grids force ties and duplicates — the edge
+// cases where a sloppy dominance definition goes wrong.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "core/explorer.hpp"
+
+namespace addm::core {
+namespace {
+
+bool dominates(const DesignPoint& a, const DesignPoint& b) {
+  const bool no_worse = a.metrics.area_units <= b.metrics.area_units &&
+                        a.metrics.delay_ns <= b.metrics.delay_ns;
+  const bool better = a.metrics.area_units < b.metrics.area_units ||
+                      a.metrics.delay_ns < b.metrics.delay_ns;
+  return no_worse && better;
+}
+
+std::vector<DesignPoint> random_points(std::mt19937& rng) {
+  std::uniform_int_distribution<int> size_dist(0, 40);
+  std::uniform_int_distribution<int> metric_dist(1, 6);  // small grid: many ties
+  std::uniform_int_distribution<int> feasible_dist(0, 4);
+  std::vector<DesignPoint> ps(static_cast<std::size_t>(size_dist(rng)));
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    ps[i].architecture = "p" + std::to_string(i);
+    ps[i].feasible = feasible_dist(rng) != 0;  // ~20% infeasible
+    if (ps[i].feasible) {
+      ps[i].metrics.area_units = metric_dist(rng);
+      ps[i].metrics.delay_ns = metric_dist(rng);
+    }
+  }
+  return ps;
+}
+
+class ParetoFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ParetoFuzz, FrontIsExactlyTheNonDominatedFeasibleSet) {
+  std::mt19937 rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto ps = random_points(rng);
+    const auto front = pareto_front(ps);
+
+    EXPECT_TRUE(std::is_sorted(front.begin(), front.end()));
+    std::vector<bool> on_front(ps.size(), false);
+    for (std::size_t i : front) {
+      ASSERT_LT(i, ps.size());
+      on_front[i] = true;
+      EXPECT_TRUE(ps[i].feasible) << "infeasible point " << i << " on front";
+      for (std::size_t j = 0; j < ps.size(); ++j)
+        if (j != i && ps[j].feasible)
+          EXPECT_FALSE(dominates(ps[j], ps[i]))
+              << "front member " << i << " dominated by " << j;
+    }
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+      if (!ps[i].feasible || on_front[i]) continue;
+      bool witnessed = false;
+      for (std::size_t j : front)
+        if (dominates(ps[j], ps[i])) {
+          witnessed = true;
+          break;
+        }
+      EXPECT_TRUE(witnessed) << "non-member " << i << " has no dominating front member";
+    }
+  }
+}
+
+TEST_P(ParetoFuzz, FrontInvariantUnderPermutation) {
+  std::mt19937 rng(1000 + GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto ps = random_points(rng);
+    const auto front = pareto_front(ps);
+
+    std::vector<std::size_t> perm(ps.size());
+    std::iota(perm.begin(), perm.end(), 0);
+    std::shuffle(perm.begin(), perm.end(), rng);
+    std::vector<DesignPoint> shuffled(ps.size());
+    for (std::size_t i = 0; i < ps.size(); ++i) shuffled[perm[i]] = ps[i];
+
+    // Map the shuffled front back to original indices; as index *sets* the
+    // two fronts must coincide.
+    std::vector<std::size_t> inverse(ps.size());
+    for (std::size_t i = 0; i < ps.size(); ++i) inverse[perm[i]] = i;
+    std::vector<std::size_t> mapped;
+    for (std::size_t i : pareto_front(shuffled)) mapped.push_back(inverse[i]);
+    std::sort(mapped.begin(), mapped.end());
+    EXPECT_EQ(mapped, front) << "seed " << GetParam() << " trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParetoFuzz, ::testing::Range(1u, 9u));
+
+TEST(Pareto, EmptyAndAllInfeasible) {
+  EXPECT_TRUE(pareto_front({}).empty());
+  std::vector<DesignPoint> ps(3);
+  for (auto& p : ps) p.feasible = false;
+  EXPECT_TRUE(pareto_front(ps).empty());
+}
+
+TEST(Pareto, DuplicatePointsAllSurvive) {
+  // Two identical feasible points: neither strictly dominates the other, so
+  // both stay on the front (ties are kept, matching the report contract).
+  std::vector<DesignPoint> ps(2);
+  for (auto& p : ps) {
+    p.feasible = true;
+    p.metrics.area_units = 5;
+    p.metrics.delay_ns = 2;
+  }
+  EXPECT_EQ(pareto_front(ps), (std::vector<std::size_t>{0, 1}));
+}
+
+}  // namespace
+}  // namespace addm::core

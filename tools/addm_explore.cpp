@@ -50,7 +50,10 @@ void usage(const char* argv0) {
       << "  --trace-dir DIR      add every *.trace file under DIR\n"
       << "\n"
       << "exploration:\n"
-      << "  --threads N          worker threads (default: hardware)\n"
+      << "  --threads N          total worker-thread budget (default: hardware)\n"
+      << "  --arch-threads N     per-trace candidate threads, taken from the\n"
+      << "                       --threads budget (default 1; 0 = hardware)\n"
+      << "  --archs a,b,...      only these candidate architectures (registry names)\n"
       << "  --no-cache           disable (trace, options) memoization\n"
       << "  --cache-dir DIR      persistent evaluation cache shared across runs\n"
       << "  --shard I/N          explore only shard I (0-based) of N\n"
@@ -112,6 +115,35 @@ int main(int argc, char** argv) {
           opt.threads > addm::tools::kMaxThreads) {
         std::cerr << argv[0] << ": --threads expects a number between 0 and "
                   << addm::tools::kMaxThreads << "\n";
+        return 2;
+      }
+    } else if (arg == "--arch-threads") {
+      if (!parse_size(need_value(), opt.explore.arch_threads) ||
+          opt.explore.arch_threads > addm::tools::kMaxThreads) {
+        std::cerr << argv[0] << ": --arch-threads expects a number between 0 and "
+                  << addm::tools::kMaxThreads << "\n";
+        return 2;
+      }
+    } else if (arg == "--archs") {
+      const std::string list = need_value();
+      const std::vector<std::string> known = addm::core::generator_names();
+      std::size_t pos = 0;
+      while (pos <= list.size()) {
+        const std::size_t comma = std::min(list.find(',', pos), list.size());
+        const std::string name = list.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (name.empty()) continue;
+        if (std::find(known.begin(), known.end(), name) == known.end()) {
+          std::cerr << argv[0] << ": --archs: unknown architecture '" << name
+                    << "' (known:";
+          for (const std::string& k : known) std::cerr << " " << k;
+          std::cerr << ")\n";
+          return 2;
+        }
+        opt.explore.archs.push_back(name);
+      }
+      if (opt.explore.archs.empty()) {
+        std::cerr << argv[0] << ": --archs expects a comma-separated list of names\n";
         return 2;
       }
     } else if (arg == "--no-cache") {
