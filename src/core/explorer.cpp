@@ -10,6 +10,7 @@
 #include "core/srag_elab.hpp"
 #include "core/srag_mapper.hpp"
 #include "core/thread_pool.hpp"
+#include "core/verify.hpp"
 #include "synth/fsm.hpp"
 
 namespace addm::core {
@@ -126,6 +127,14 @@ GeneratorEntry cntag_entry(std::string name, synth::DecoderStyle style,
     copt.decoder_style = style;
     return measured_point(name, elaborate_cntag(trace, copt), opt, note);
   };
+  e.reference = [style](const seq::AddressTrace& trace,
+                        const ExploreOptions&) -> std::optional<ReferenceCircuit> {
+    CntAgOptions copt;
+    copt.decoder_style = style;
+    ReferenceCircuit rc;
+    rc.netlist = elaborate_cntag(trace, copt);
+    return rc;
+  };
   return e;
 }
 
@@ -143,6 +152,13 @@ GeneratorEntry fsm_entry(std::string name, synth::FsmEncoding enc) {
     }
     return measured_point(name, elaborate_fsm_2d(trace, enc), opt);
   };
+  e.reference = [enc](const seq::AddressTrace& trace,
+                      const ExploreOptions& opt) -> std::optional<ReferenceCircuit> {
+    if (trace.length() > opt.max_fsm_states) return std::nullopt;
+    ReferenceCircuit rc;
+    rc.netlist = elaborate_fsm_2d(trace, enc);
+    return rc;
+  };
   return e;
 }
 
@@ -154,10 +170,56 @@ DesignPoint elaborate_sfm_point(const seq::AddressTrace& trace,
                         "one-hot FIFO pointers (1-D memory)");
 }
 
+// --- reference netlists for gate-level front verification -------------------
+// Each hook re-elaborates the candidate's raw (unbuffered) netlist and
+// names the buses the verify stage must replay against the trace; nullopt
+// mirrors the elaborate callable's infeasibility conditions.
+
+std::optional<ReferenceCircuit> srag_reference(const seq::AddressTrace& trace,
+                                               const ExploreOptions&) {
+  try {
+    ReferenceCircuit rc;
+    rc.netlist = build_srag_2d_for_trace(trace).netlist;
+    return rc;
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<ReferenceCircuit> multicounter_reference(const seq::AddressTrace& trace,
+                                                       const ExploreOptions&) {
+  auto row_map = map_sequence_multicounter(
+      trace.rows(), static_cast<std::uint32_t>(trace.geometry().height));
+  auto col_map = map_sequence_multicounter(
+      trace.cols(), static_cast<std::uint32_t>(trace.geometry().width));
+  if (!row_map.ok() || !col_map.ok()) return std::nullopt;
+  ReferenceCircuit rc;
+  NetlistBuilder b(rc.netlist);
+  const NetId next = b.input("next");
+  const NetId reset = b.input("reset");
+  const auto rp = build_multi_srag(b, *row_map.config, next, reset);
+  const auto cp = build_multi_srag(b, *col_map.config, next, reset);
+  b.output_bus("rs", rp.select);
+  b.output_bus("cs", cp.select);
+  return rc;
+}
+
+std::optional<ReferenceCircuit> sfm_reference(const seq::AddressTrace& trace,
+                                              const ExploreOptions&) {
+  if (!is_fifo(trace)) return std::nullopt;
+  ReferenceCircuit rc;
+  rc.netlist = elaborate_sfm(trace.geometry().size());
+  rc.drive = {{"next_read", true}, {"next_write", false}};
+  rc.row_bus = "rsel";  // head pointer walks the FIFO order = linear trace
+  rc.col_bus.clear();
+  return rc;
+}
+
 std::vector<GeneratorEntry> build_registry() {
   std::vector<GeneratorEntry> reg;
-  reg.push_back({"SRAG", always, elaborate_srag_point});
-  reg.push_back({"SRAG-multicounter", always, elaborate_multicounter_point});
+  reg.push_back({"SRAG", always, elaborate_srag_point, srag_reference});
+  reg.push_back({"SRAG-multicounter", always, elaborate_multicounter_point,
+                 multicounter_reference});
   reg.push_back(cntag_entry("CntAG-flat", synth::DecoderStyle::Flat, "flat decoders"));
   reg.push_back(cntag_entry("CntAG-shared", synth::DecoderStyle::SharedChain,
                             "shared chain decoders (2002 flow)"));
@@ -166,7 +228,7 @@ std::vector<GeneratorEntry> build_registry() {
   reg.push_back(fsm_entry("FSM-binary", synth::FsmEncoding::Binary));
   reg.push_back(fsm_entry("FSM-gray", synth::FsmEncoding::Gray));
   reg.push_back(fsm_entry("FSM-onehot", synth::FsmEncoding::OneHot));
-  reg.push_back({"SFM", always, elaborate_sfm_point});
+  reg.push_back({"SFM", always, elaborate_sfm_point, sfm_reference});
   return reg;
 }
 
@@ -226,6 +288,14 @@ std::vector<DesignPoint> explore_generators(const seq::AddressTrace& trace,
   // serialized error strings) see the same exception at every thread count.
   for (std::exception_ptr& e : errors)
     if (e) std::rethrow_exception(e);
+
+  // Opt-in gate-level verification of the Pareto front (core/verify.hpp).
+  // Runs after the parallel section on the calling thread, annotating notes
+  // deterministically — the result stays a pure function of (trace, opt),
+  // and the flag is fingerprinted so annotated and plain runs never share
+  // cache keys.
+  if (opt.verify_front)
+    verify_pareto_points(trace, points, pareto_front(points), opt);
   return points;
 }
 

@@ -25,10 +25,13 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/metrics.hpp"
+#include "netlist/netlist.hpp"
 #include "seq/trace.hpp"
 #include "tech/library.hpp"
 
@@ -66,6 +69,27 @@ struct ExploreOptions {
   /// options_fingerprint.  The batch explorer overrides this per worker via
   /// split_threads so outer × inner never exceeds its thread budget.
   std::size_t arch_threads = 1;
+  /// Gate-level verification of the Pareto front (core/verify.hpp): every
+  /// front point is re-elaborated and its netlist replayed against the
+  /// trace in the 64-lane word simulator; the verdict is appended to the
+  /// point's note.  Output-affecting, so it is fingerprinted — but only
+  /// when enabled, keeping default-options fingerprints (and thus existing
+  /// cache directories and reports) pinned.
+  bool verify_front = false;
+};
+
+/// A candidate's netlist re-elaborated for gate-level verification, plus the
+/// replay recipe: after one reset cycle with `drive` inputs applied, the
+/// asserted line of `row_bus` (and `col_bus`, when present) must track the
+/// trace's row/column address sequence cycle by cycle.  With an empty
+/// `col_bus` the single bus is checked against the linear address sequence
+/// (1-D generators such as the SFM).
+struct ReferenceCircuit {
+  netlist::Netlist netlist;
+  /// Inputs held for the whole replay once "reset" is released.
+  std::vector<std::pair<std::string, bool>> drive = {{"next", true}};
+  std::string row_bus = "rs";
+  std::string col_bus = "cs";
 };
 
 /// One self-describing candidate architecture in the registry.  Both
@@ -83,6 +107,13 @@ struct GeneratorEntry {
   std::function<bool(const seq::AddressTrace&, const ExploreOptions&)> applicable;
   /// Maps + elaborates + measures the candidate for `trace`.
   std::function<DesignPoint(const seq::AddressTrace&, const ExploreOptions&)> elaborate;
+  /// Re-elaborates the candidate netlist for gate-level verification
+  /// (ExploreOptions::verify_front); nullopt when the candidate is
+  /// infeasible for `trace`.  Pure and thread-safe like the other
+  /// callables.
+  std::function<std::optional<ReferenceCircuit>(const seq::AddressTrace&,
+                                                const ExploreOptions&)>
+      reference;
 };
 
 /// The stable-ordered candidate table.  The order is part of the output

@@ -42,6 +42,10 @@ std::uint64_t options_fingerprint(const ExploreOptions& opt) {
       for (const std::string& name : selected) h.str(name);
     }
   }
+  // verify_front annotates Pareto-point notes, so it is output-affecting —
+  // but it is hashed only when enabled, so default-options fingerprints
+  // (and every cache directory written before the flag existed) stay valid.
+  if (opt.verify_front) h.str("verify_front");
   for (int t = 0; t < static_cast<int>(netlist::kNumCellTypes); ++t) {
     const tech::CellParams& p = opt.library.params(static_cast<netlist::CellType>(t));
     h.f64(p.area);

@@ -1,5 +1,6 @@
 #include "seq/trace_io.hpp"
 
+#include <cctype>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -48,6 +49,11 @@ AddressTrace read_trace(std::istream& in) {
     std::istringstream as(line);
     std::string tok;
     while (as >> tok) {
+      // std::stoul accepts a sign and wraps negatives into huge unsigned
+      // values, which would surface as a misleading "outside the array"
+      // error for "-1"; an address token must be bare digits.
+      if (!std::isdigit(static_cast<unsigned char>(tok[0])))
+        fail(line_no, "not an address: '" + tok + "'");
       std::size_t used = 0;
       unsigned long v = 0;
       try {

@@ -34,14 +34,24 @@ void Simulator::set(std::string_view name, bool value) {
 }
 
 void Simulator::set_bus(std::string_view prefix, std::uint64_t value) {
+  std::vector<NetId> nets;
   for (int i = 0;; ++i) {
-    const auto net = nl_->find_input(std::string(prefix) + "[" + std::to_string(i) + "]");
-    if (!net) {
-      if (i == 0) throw std::invalid_argument("set_bus: unknown bus " + std::string(prefix));
-      return;
-    }
-    values_[*net] = (value >> i) & 1;
+    const auto net =
+        nl_->find_input(std::string(prefix) + "[" + std::to_string(i) + "]");
+    if (!net) break;
+    nets.push_back(*net);
   }
+  if (nets.empty())
+    throw std::invalid_argument("set_bus: unknown bus " + std::string(prefix));
+  // A value wider than the bus would silently lose its high bits (e.g. a
+  // 10-bit address written onto an 8-bit bus); refuse — before touching any
+  // bit, so a rejected call leaves the bus unchanged.
+  if (nets.size() < 64 && (value >> nets.size()) != 0)
+    throw std::invalid_argument("set_bus: value does not fit the " +
+                                std::to_string(nets.size()) + "-bit bus " +
+                                std::string(prefix));
+  for (std::size_t i = 0; i < nets.size(); ++i)
+    values_[nets[i]] = (value >> i) & 1;
 }
 
 void Simulator::eval() {
@@ -106,6 +116,13 @@ void Simulator::power_on_reset() {
   for (std::size_t ci : seq_cells_) values_[nl_->cell(ci).output] = 0;
   cycles_ = 0;
   eval();
+  // Power-on starts a fresh measurement window: carrying toggle counts (or
+  // the pre-reset value snapshot) across the reset would leak activity from
+  // the previous run into the first post-reset steps.
+  if (count_toggles_) {
+    prev_ = values_;
+    toggles_.assign(nl_->num_nets(), 0);
+  }
 }
 
 NetId Simulator::find_output_checked(std::string_view name) const {

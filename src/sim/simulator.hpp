@@ -33,6 +33,7 @@ class Simulator {
   /// By port name; throws if the name is unknown.
   void set(std::string_view input_name, bool value);
   /// Drives inputs "<prefix>[0..]" with the bits of `value` (LSB first).
+  /// Throws std::invalid_argument when `value` has bits above the bus width.
   void set_bus(std::string_view prefix, std::uint64_t value);
 
   // --- stepping ---------------------------------------------------------------
@@ -42,7 +43,8 @@ class Simulator {
   void step();
   /// Convenience: step `n` times with current inputs held.
   void run(std::size_t n);
-  /// Clears all flip-flops to 0 and re-evaluates (power-on state).
+  /// Clears all flip-flops to 0, restarts cycle and toggle counting, and
+  /// re-evaluates (power-on state).
   void power_on_reset();
 
   // --- observing values ---------------------------------------------------------

@@ -234,6 +234,44 @@ TEST(Simulator, ToggleCounting) {
   EXPECT_EQ(s.toggles()[q], 10u);  // toggles every cycle
 }
 
+TEST(Simulator, SetBusRejectsValueWiderThanBus) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  b.output_bus("q", b.input_bus("d", 4));
+  Simulator s(nl);
+  s.set_bus("d", 0b1111);  // widest value that fits
+  s.eval();
+  EXPECT_EQ(s.get_bus("q"), 0b1111u);
+  // Bits above the bus width used to be dropped silently.
+  EXPECT_THROW(s.set_bus("d", 0b10000), std::invalid_argument);
+  try {
+    s.set_bus("d", 0x100);
+    FAIL() << "expected overflow rejection";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("4-bit"), std::string::npos) << e.what();
+  }
+  // The rejected calls must not have disturbed the bus.
+  s.eval();
+  EXPECT_EQ(s.get_bus("q"), 0b1111u);
+}
+
+TEST(Simulator, PowerOnResetRestartsToggleCounters) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId q = nl.new_net();
+  nl.add_cell(CellType::Dff, {b.inv(q)}, q);
+  nl.add_output("q", q);
+  Simulator s(nl);
+  s.enable_toggle_counting();
+  s.run(10);
+  EXPECT_EQ(s.toggles()[q], 10u);
+  // Counts used to leak across power_on_reset, inflating later estimates.
+  s.power_on_reset();
+  EXPECT_EQ(s.toggles()[q], 0u);
+  s.run(4);
+  EXPECT_EQ(s.toggles()[q], 4u);
+}
+
 TEST(Simulator, RejectsCombinationalLoop) {
   Netlist nl;
   const NetId a = nl.new_net();

@@ -71,6 +71,21 @@ TEST(TraceIo, RejectsOutOfRangeAddress) {
   }
 }
 
+TEST(TraceIo, RejectsSignedAddressTokens) {
+  // "-1" used to slip through std::stoul by wrapping to a huge unsigned
+  // value; both sign prefixes must be rejected as non-addresses.
+  for (const char* tok : {"-1", "+1"}) {
+    try {
+      read_trace_string(std::string("geometry 2 2\n0 ") + tok + "\n");
+      FAIL() << "expected parse failure for token " << tok;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("not an address"), std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+    }
+  }
+}
+
 TEST(TraceIo, RejectsEmptyTrace) {
   EXPECT_THROW(read_trace_string("geometry 2 2\n"), std::invalid_argument);
 }

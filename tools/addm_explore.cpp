@@ -60,6 +60,9 @@ void usage(const char* argv0) {
       << "  --no-fsm             skip symbolic-FSM candidates\n"
       << "  --max-fsm-states N   FSM feasibility cap (default 1024)\n"
       << "  --max-fanout N       buffering fanout limit\n"
+      << "  --verify-front       gate-level-verify every Pareto point in the\n"
+      << "                       64-lane word simulator; verdicts annotate the\n"
+      << "                       report notes (distinct cache keys)\n"
       << "\n"
       << "output:\n"
       << "  --format csv|json    report format (default csv)\n"
@@ -159,6 +162,8 @@ int main(int argc, char** argv) {
       have_shard = true;
     } else if (arg == "--no-fsm") {
       opt.explore.include_fsm = false;
+    } else if (arg == "--verify-front") {
+      opt.explore.verify_front = true;
     } else if (arg == "--max-fsm-states") {
       if (!parse_size(need_value(), opt.explore.max_fsm_states)) {
         std::cerr << argv[0] << ": --max-fsm-states expects a number\n";
