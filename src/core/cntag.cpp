@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "logic/isop.hpp"
+#include "logic/minimize.hpp"
 #include "logic/sop_map.hpp"
 
 namespace addm::core {
@@ -16,7 +16,8 @@ namespace {
 
 /// Synthesizes `values[idx]` bit `bit` as a function of the index bits.
 NetId synth_table_bit(NetlistBuilder& b, std::span<const NetId> index_bits,
-                      const std::vector<std::uint32_t>& values, int bit, bool flat) {
+                      const std::vector<std::uint32_t>& values, int bit, bool flat,
+                      const logic::MinimizeOptions& minimize) {
   const int n = static_cast<int>(index_bits.size());
   TruthTable onset(n);
   TruthTable care(n);
@@ -24,7 +25,7 @@ NetId synth_table_bit(NetlistBuilder& b, std::span<const NetId> index_bits,
     care.set(i, true);
     if ((values[i] >> bit) & 1) onset.set(i, true);
   }
-  const auto cover = logic::isop(onset, onset | ~care);
+  const auto cover = logic::minimize(onset, onset | ~care, minimize);
   const bool saved = b.sharing();
   b.set_sharing(!flat);
   const NetId out = logic::map_cover(b, cover, index_bits);
@@ -57,9 +58,11 @@ CntAgPorts build_cntag(NetlistBuilder& b, const seq::AddressTrace& trace, NetId 
   const int row_bits = synth::bits_for(trace.geometry().height);
   const int col_bits = synth::bits_for(trace.geometry().width);
   for (int k = 0; k < row_bits; ++k)
-    ports.row_addr.push_back(synth_table_bit(b, ports.index, rows, k, opt.flat_transform));
+    ports.row_addr.push_back(
+        synth_table_bit(b, ports.index, rows, k, opt.flat_transform, opt.minimize));
   for (int k = 0; k < col_bits; ++k)
-    ports.col_addr.push_back(synth_table_bit(b, ports.index, cols, k, opt.flat_transform));
+    ports.col_addr.push_back(
+        synth_table_bit(b, ports.index, cols, k, opt.flat_transform, opt.minimize));
 
   if (opt.include_decoders) {
     ports.rs = synth::build_decoder(b, ports.row_addr, trace.geometry().height,

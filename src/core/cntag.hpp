@@ -16,6 +16,7 @@
 
 #include <cstdint>
 
+#include "logic/minimize.hpp"
 #include "netlist/builder.hpp"
 #include "seq/trace.hpp"
 #include "synth/counter.hpp"
@@ -35,6 +36,10 @@ struct CntAgOptions {
   /// Figure 1, whose decode happens inside the RAM macro; the paper's
   /// CntAG delay/area figures include the decode, so true is the default).
   bool include_decoders = true;
+  /// Two-level minimizer for the index->address transform.  The default
+  /// routes everything through ISOP (byte-identical to the historical
+  /// behavior); long traces want MinimizerAlgo::Auto/Espresso.
+  logic::MinimizeOptions minimize;
 };
 
 struct CntAgPorts {

@@ -39,7 +39,8 @@ DesignPoint infeasible_point(std::string arch, std::string why) {
   return p;
 }
 
-Netlist elaborate_fsm_2d(const seq::AddressTrace& trace, synth::FsmEncoding enc) {
+Netlist elaborate_fsm_2d(const seq::AddressTrace& trace, synth::FsmEncoding enc,
+                         const logic::MinimizeOptions& minimize) {
   const auto rows = trace.rows();
   const auto cols = trace.cols();
   const std::size_t L = trace.length();
@@ -59,7 +60,7 @@ Netlist elaborate_fsm_2d(const seq::AddressTrace& trace, synth::FsmEncoding enc)
   NetlistBuilder b(nl);
   const NetId next = b.input("next");
   const NetId reset = b.input("reset");
-  const synth::FsmStyle style{enc, /*flat_mapping=*/true};
+  const synth::FsmStyle style{enc, /*flat_mapping=*/true, minimize};
   const auto row_ports = synth::build_fsm(b, row_spec, next, reset, style);
   const auto col_ports = synth::build_fsm(b, col_spec, next, reset, style);
   b.output_bus("rs", row_ports.select);
@@ -125,12 +126,14 @@ GeneratorEntry cntag_entry(std::string name, synth::DecoderStyle style,
                                     const ExploreOptions& opt) {
     CntAgOptions copt;
     copt.decoder_style = style;
+    copt.minimize = opt.minimize;
     return measured_point(name, elaborate_cntag(trace, copt), opt, note);
   };
   e.reference = [style](const seq::AddressTrace& trace,
-                        const ExploreOptions&) -> std::optional<ReferenceCircuit> {
+                        const ExploreOptions& opt) -> std::optional<ReferenceCircuit> {
     CntAgOptions copt;
     copt.decoder_style = style;
+    copt.minimize = opt.minimize;
     ReferenceCircuit rc;
     rc.netlist = elaborate_cntag(trace, copt);
     return rc;
@@ -150,13 +153,13 @@ GeneratorEntry fsm_entry(std::string name, synth::FsmEncoding enc) {
           name, "synthesis impractical beyond " + std::to_string(opt.max_fsm_states) +
                     " states (sequence has " + std::to_string(trace.length()) + ")");
     }
-    return measured_point(name, elaborate_fsm_2d(trace, enc), opt);
+    return measured_point(name, elaborate_fsm_2d(trace, enc, opt.minimize), opt);
   };
   e.reference = [enc](const seq::AddressTrace& trace,
                       const ExploreOptions& opt) -> std::optional<ReferenceCircuit> {
     if (trace.length() > opt.max_fsm_states) return std::nullopt;
     ReferenceCircuit rc;
-    rc.netlist = elaborate_fsm_2d(trace, enc);
+    rc.netlist = elaborate_fsm_2d(trace, enc, opt.minimize);
     return rc;
   };
   return e;

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "core/metrics.hpp"
+#include "logic/minimize.hpp"
 #include "netlist/netlist.hpp"
 #include "seq/trace.hpp"
 #include "tech/library.hpp"
@@ -76,6 +77,13 @@ struct ExploreOptions {
   /// when enabled, keeping default-options fingerprints (and thus existing
   /// cache directories and reports) pinned.
   bool verify_front = false;
+  /// Two-level minimizer used inside FSM and CntAG elaboration
+  /// (logic/minimize.hpp).  The default (Isop) reproduces the historical
+  /// covers byte for byte; selecting Auto/Espresso/Exact changes netlists
+  /// and therefore metrics, so a non-default value is fingerprinted — only
+  /// when non-default, keeping default-options fingerprints pinned (the
+  /// verify_front pattern).
+  logic::MinimizeOptions minimize;
 };
 
 /// A candidate's netlist re-elaborated for gate-level verification, plus the

@@ -46,6 +46,16 @@ std::uint64_t options_fingerprint(const ExploreOptions& opt) {
   // but it is hashed only when enabled, so default-options fingerprints
   // (and every cache directory written before the flag existed) stay valid.
   if (opt.verify_front) h.str("verify_front");
+  // The minimizer selection changes FSM/CntAG covers and therefore metrics.
+  // Hashed only when non-default (same pattern as verify_front), and the
+  // Auto threshold only when Auto is selected — every equal-output spelling
+  // of the default (Isop ignores the threshold) shares the pinned key.
+  if (opt.minimize.algo != logic::MinimizerAlgo::Isop) {
+    h.str("minimizer");
+    h.str(logic::minimizer_name(opt.minimize.algo));
+    if (opt.minimize.algo == logic::MinimizerAlgo::Auto)
+      h.u64(static_cast<std::uint64_t>(opt.minimize.heuristic_min_vars));
+  }
   for (int t = 0; t < static_cast<int>(netlist::kNumCellTypes); ++t) {
     const tech::CellParams& p = opt.library.params(static_cast<netlist::CellType>(t));
     h.f64(p.area);

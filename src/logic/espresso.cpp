@@ -1,0 +1,362 @@
+#include "logic/espresso.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace addm::logic {
+
+namespace {
+
+struct CubeKey {
+  std::size_t operator()(const Cube& c) const {
+    return std::hash<std::uint64_t>()((std::uint64_t{c.mask} << 32) | c.polarity);
+  }
+};
+
+bool canonical_less(const Cube& a, const Cube& b) {
+  if (a.mask != b.mask) return a.mask < b.mask;
+  return a.polarity < b.polarity;
+}
+
+/// Minterms of `t` as a vector, by word-at-a-time bit scan (one linear pass
+/// over the dense table; everything downstream works on the resulting list).
+std::vector<std::uint32_t> minterm_list(const TruthTable& t) {
+  std::vector<std::uint32_t> out;
+  for (std::uint64_t m = 0; m < t.num_minterms_capacity(); ++m)
+    if (t.get(m)) out.push_back(static_cast<std::uint32_t>(m));
+  return out;
+}
+
+/// a and b intersect iff their common fixed literals agree.
+bool cubes_intersect(const Cube& a, const Cube& b) {
+  return ((a.polarity ^ b.polarity) & a.mask & b.mask) == 0;
+}
+
+/// Cofactor of a cube list with respect to literal x_v = val: cubes
+/// conflicting with the literal drop out, the rest lose the variable.
+std::vector<Cube> cofactor_cubes(const std::vector<Cube>& cubes, int v, bool val) {
+  const std::uint32_t bit = 1u << v;
+  std::vector<Cube> out;
+  out.reserve(cubes.size());
+  for (const Cube& c : cubes) {
+    if (c.mask & bit) {
+      const bool pol = (c.polarity & bit) != 0;
+      if (pol != val) continue;
+    }
+    Cube r = c;
+    r.mask &= ~bit;
+    r.polarity &= r.mask;
+    out.push_back(r);
+  }
+  return out;
+}
+
+bool tautology_rec(std::vector<Cube> cubes) {
+  for (;;) {
+    if (cubes.empty()) return false;
+    std::uint32_t any_mask = 0;
+    for (const Cube& c : cubes) {
+      if (c.mask == 0) return true;  // universe cube
+      any_mask |= c.mask;
+    }
+    // Unate reduction: if the cover is unate in x_v, minterms on the
+    // unrepresented polarity of x_v are reachable only through cubes
+    // independent of x_v — the cover is a tautology iff that subcover is.
+    std::uint32_t pos = 0, neg = 0;
+    for (const Cube& c : cubes) {
+      pos |= c.mask & c.polarity;
+      neg |= c.mask & ~c.polarity;
+    }
+    const std::uint32_t unate = any_mask & ~(pos & neg);
+    if (unate != 0) {
+      std::vector<Cube> reduced;
+      reduced.reserve(cubes.size());
+      for (const Cube& c : cubes)
+        if ((c.mask & unate) == 0) reduced.push_back(c);
+      if (reduced.size() == cubes.size()) return false;  // defensive; unreachable
+      cubes = std::move(reduced);
+      continue;
+    }
+    // Binate split on the most-contested variable (ties to the lowest
+    // index, keeping the recursion deterministic).
+    int best_v = -1;
+    int best_count = -1;
+    for (int v = 0; v < 24; ++v) {
+      if (!(any_mask & (1u << v))) continue;
+      int count = 0;
+      for (const Cube& c : cubes)
+        if (c.mask & (1u << v)) ++count;
+      if (count > best_count) {
+        best_count = count;
+        best_v = v;
+      }
+    }
+    return tautology_rec(cofactor_cubes(cubes, best_v, false)) &&
+           tautology_rec(cofactor_cubes(cubes, best_v, true));
+  }
+}
+
+/// Cost of a cover for the improvement loop: fewer cubes first, then fewer
+/// literals.
+std::pair<std::size_t, int> cover_cost(const std::vector<Cube>& cubes) {
+  int literals = 0;
+  for (const Cube& c : cubes) literals += std::popcount(c.mask);
+  return {cubes.size(), literals};
+}
+
+/// EXPAND: grow each cube to a prime-like maximal cube by dropping literals
+/// one at a time (ascending variable order, deterministic); then drop cubes
+/// contained in an earlier expanded cube, deduped through a cube hash set.
+///
+/// Dropping literal x_v is legal iff the flipped half-cube (the minterms the
+/// expansion would add) stays inside the upper bound.  Two equivalent checks
+/// with very different costs are available, and each literal test picks the
+/// cheaper one: enumerating the 2^k minterms of the half-cube against the
+/// dense table (k = current free-variable count), or scanning the offset
+/// minterm list for one the expanded cube would swallow.  Sparse functions
+/// (many offset minterms, small final cubes) stay on the dense check;
+/// near-tautologies (huge cubes, few offset minterms) stay on the scan.
+void expand_cubes(std::vector<Cube>& cover, const std::vector<std::uint32_t>& offset,
+                  const TruthTable& upper, std::uint32_t full_mask) {
+  std::vector<Cube> result;
+  result.reserve(cover.size());
+  std::unordered_set<Cube, CubeKey> seen;
+  for (const Cube& orig : cover) {
+    // Cheap skip: cubes already swallowed by an accepted expansion.
+    bool swallowed = false;
+    for (const Cube& big : result)
+      if (big.contains(orig)) {
+        swallowed = true;
+        break;
+      }
+    if (swallowed) continue;
+
+    std::uint32_t mask = orig.mask;
+    const std::uint32_t pol = orig.polarity;
+    for (int v = 0; v < 24; ++v) {
+      const std::uint32_t bit = 1u << v;
+      if (!(mask & bit)) continue;
+      const std::uint32_t next_mask = mask & ~bit;
+      const std::uint32_t free = full_mask & ~mask;
+      bool ok = true;
+      if ((std::uint64_t{1} << std::popcount(free)) <= offset.size()) {
+        // Dense check: every minterm of the flipped half must be in U.
+        const std::uint32_t base = (pol ^ bit) & mask;
+        std::uint32_t s = 0;
+        do {
+          if (!upper.get(base | s)) {
+            ok = false;
+            break;
+          }
+          s = (s - free) & free;
+        } while (s != 0);
+      } else {
+        // Offset scan: the expanded cube must not cover any offset minterm.
+        for (std::uint32_t r : offset)
+          if (((pol ^ r) & next_mask) == 0) {
+            ok = false;
+            break;
+          }
+      }
+      if (ok) mask = next_mask;
+    }
+
+    Cube expanded;
+    expanded.mask = mask & full_mask;
+    expanded.polarity = pol & expanded.mask;
+    if (seen.insert(expanded).second) result.push_back(expanded);
+  }
+
+  // Single-cube containment sweep over the (much smaller) expanded list;
+  // the list is deduped, so containment is never mutual.
+  std::vector<Cube> kept;
+  kept.reserve(result.size());
+  for (std::size_t i = 0; i < result.size(); ++i) {
+    bool contained = false;
+    for (std::size_t j = 0; j < result.size(); ++j)
+      if (i != j && result[j].contains(result[i])) {
+        contained = true;
+        break;
+      }
+    if (!contained) kept.push_back(result[i]);
+  }
+  cover = std::move(kept);
+}
+
+/// IRREDUNDANT: drop every cube whose minterms are covered by the rest of
+/// the cover plus the don't-care cubes, tested with the cofactor-based
+/// tautology check.  Cubes are visited most-specific first (descending
+/// literal count, canonical tie-break) so large cubes survive.
+void irredundant_cubes(std::vector<Cube>& cover, const std::vector<Cube>& dc_cubes) {
+  std::vector<std::size_t> order(cover.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const int la = std::popcount(cover[a].mask), lb = std::popcount(cover[b].mask);
+    if (la != lb) return la > lb;
+    return canonical_less(cover[a], cover[b]);
+  });
+
+  std::vector<char> removed(cover.size(), 0);
+  for (std::size_t idx : order) {
+    const Cube& c = cover[idx];
+    // Cofactor the rest of the cover (plus don't-cares) w.r.t. c; c is
+    // redundant iff that cofactor is a tautology.
+    std::vector<Cube> rest;
+    rest.reserve(cover.size() + dc_cubes.size());
+    for (std::size_t j = 0; j < cover.size(); ++j) {
+      if (j == idx || removed[j]) continue;
+      if (cubes_intersect(cover[j], c)) rest.push_back(cover[j]);
+    }
+    for (const Cube& d : dc_cubes)
+      if (cubes_intersect(d, c)) rest.push_back(d);
+    // Cofactor w.r.t. the cube: drop c's fixed literals from every survivor.
+    for (Cube& r : rest) {
+      r.mask &= ~c.mask;
+      r.polarity &= r.mask;
+    }
+    if (tautology_rec(std::move(rest))) removed[idx] = 1;
+  }
+
+  std::vector<Cube> kept;
+  kept.reserve(cover.size());
+  for (std::size_t i = 0; i < cover.size(); ++i)
+    if (!removed[i]) kept.push_back(cover[i]);
+  cover = std::move(kept);
+}
+
+/// REDUCE: shrink each cube to the supercube of the onset minterms only it
+/// covers, freeing the next expand pass to grow it in a different
+/// direction.  Coverage counts are updated as cubes shrink, so the pass is
+/// order-dependent but deterministic (canonical cover order).
+bool reduce_cubes(std::vector<Cube>& cover, const std::vector<std::uint32_t>& onset,
+                  std::uint32_t full_mask) {
+  std::vector<int> count(onset.size(), 0);
+  // coverers[i] enumerated lazily: counts suffice.
+  for (std::size_t i = 0; i < onset.size(); ++i)
+    for (const Cube& c : cover)
+      if (c.covers(onset[i])) ++count[i];
+
+  bool changed = false;
+  for (Cube& c : cover) {
+    bool any = false;
+    std::uint32_t sup_mask = full_mask;
+    std::uint32_t sup_pol = 0;
+    for (std::size_t i = 0; i < onset.size(); ++i) {
+      if (count[i] != 1 || !c.covers(onset[i])) continue;
+      if (!any) {
+        sup_pol = onset[i];
+        any = true;
+      } else {
+        sup_mask &= ~(sup_pol ^ onset[i]);
+      }
+    }
+    if (!any) continue;  // covered elsewhere entirely; leave for irredundant
+    Cube shrunk;
+    shrunk.mask = sup_mask & full_mask;
+    shrunk.polarity = sup_pol & shrunk.mask;
+    if (shrunk == c) continue;
+    // Minterms c loses must already be covered elsewhere (count >= 2).
+    for (std::size_t i = 0; i < onset.size(); ++i)
+      if (c.covers(onset[i]) && !shrunk.covers(onset[i])) --count[i];
+    c = shrunk;
+    changed = true;
+  }
+  return changed;
+}
+
+}  // namespace
+
+bool cover_tautology(const std::vector<Cube>& cubes, int num_vars) {
+  (void)num_vars;
+  return tautology_rec(cubes);
+}
+
+bool cube_contained_in_cover(const Cube& c, const std::vector<Cube>& cover,
+                             int num_vars) {
+  std::vector<Cube> cof;
+  cof.reserve(cover.size());
+  for (const Cube& o : cover) {
+    if (!cubes_intersect(o, c)) continue;
+    Cube r = o;
+    r.mask &= ~c.mask;
+    r.polarity &= r.mask;
+    cof.push_back(r);
+  }
+  return cover_tautology(cof, num_vars);
+}
+
+Cover espresso(const TruthTable& onset_lower, const TruthTable& onset_upper) {
+  if (onset_lower.num_vars() != onset_upper.num_vars())
+    throw std::invalid_argument("espresso: mismatched variable counts");
+  if (!onset_lower.implies(onset_upper))
+    throw std::invalid_argument("espresso: lower bound not contained in upper bound");
+
+  const int n = onset_lower.num_vars();
+  const std::uint32_t full_mask =
+      n >= 32 ? ~0u : ((std::uint32_t{1} << n) - 1);
+
+  if (onset_lower.is_zero()) return {};
+  if (onset_upper.is_ones() && onset_lower.is_ones())
+    return Cover{{Cube::universe()}};
+
+  const std::vector<std::uint32_t> onset = minterm_list(onset_lower);
+  const std::vector<std::uint32_t> offset = minterm_list(~onset_upper);
+  if (offset.empty()) return Cover{{Cube::universe()}};
+
+  std::vector<Cube> dc_cubes;
+  {
+    const TruthTable dc = onset_upper.diff(onset_lower);
+    for (std::uint32_t m : minterm_list(dc)) dc_cubes.push_back({full_mask, m});
+  }
+
+  // Initial cover: the onset minterms themselves.
+  std::vector<Cube> cover;
+  cover.reserve(onset.size());
+  for (std::uint32_t m : onset) cover.push_back({full_mask, m});
+
+  expand_cubes(cover, offset, onset_upper, full_mask);
+  irredundant_cubes(cover, dc_cubes);
+  std::sort(cover.begin(), cover.end(), canonical_less);
+
+  std::vector<Cube> best = cover;
+  auto best_cost = cover_cost(best);
+  constexpr int kMaxPasses = 4;
+  for (int pass = 0; pass < kMaxPasses; ++pass) {
+    // A no-op reduce means expand+irredundant would reproduce the same
+    // cover — the loop has converged.
+    if (!reduce_cubes(cover, onset, full_mask)) break;
+    expand_cubes(cover, offset, onset_upper, full_mask);
+    irredundant_cubes(cover, dc_cubes);
+    std::sort(cover.begin(), cover.end(), canonical_less);
+    const auto cost = cover_cost(cover);
+    if (cost >= best_cost) break;
+    best = cover;
+    best_cost = cost;
+  }
+
+  // Cheap internal certification, all cube-count-proportional: every onset
+  // minterm covered, no cube touching the offset.
+  for (std::uint32_t m : onset) {
+    bool covered = false;
+    for (const Cube& c : best)
+      if (c.covers(m)) {
+        covered = true;
+        break;
+      }
+    if (!covered) throw std::logic_error("espresso: onset minterm left uncovered");
+  }
+  for (const Cube& c : best)
+    for (std::uint32_t r : offset)
+      if (c.covers(r)) throw std::logic_error("espresso: cube escapes the upper bound");
+
+  Cover out;
+  out.cubes = std::move(best);
+  return out;
+}
+
+Cover espresso(const TruthTable& f) { return espresso(f, f); }
+
+}  // namespace addm::logic

@@ -1,0 +1,47 @@
+// Espresso-style heuristic two-level minimization over cube lists.
+//
+// The exact minimizer (logic/qmc) and the dense ISOP recursion (logic/isop)
+// both pay 2^n in time and memory, which is what makes FSM elaboration the
+// bottleneck of exploration beyond ~1k states.  This module implements the
+// classic expand -> irredundant -> reduce improvement loop on *cube lists*:
+// after one linear scan turns the dense bounds into minterm lists, every
+// step — cube expansion against the offset, cofactor-based tautology
+// checking for redundancy, cube reduction — costs a polynomial of the cube
+// count, not 2^n.  The result is an irredundant cover C with L <= C <= U,
+// canonically sorted so equal inputs produce byte-identical covers
+// regardless of hash iteration order, thread, or host.
+#pragma once
+
+#include <vector>
+
+#include "logic/cube.hpp"
+#include "logic/truth_table.hpp"
+
+namespace addm::logic {
+
+/// Heuristic two-level minimization of the incompletely specified function
+/// onset_lower <= f <= onset_upper.  Requires matching variable counts and
+/// onset_lower.implies(onset_upper); throws std::invalid_argument otherwise.
+///
+/// Guarantees (enforced internally, certified exhaustively by tests):
+///  * L <= C <= U — the cover is a legal implementation of the ISF,
+///  * C is irredundant w.r.t. L: no single cube can be dropped,
+///  * deterministic: the cover is a pure function of (L, U), returned in
+///    canonical (mask, polarity)-sorted order.
+Cover espresso(const TruthTable& onset_lower, const TruthTable& onset_upper);
+
+/// Completely specified convenience overload.
+Cover espresso(const TruthTable& f);
+
+/// Cofactor-based tautology check: true iff the OR of `cubes` covers every
+/// minterm over `num_vars` variables.  Recursive unate-reduction + binate
+/// splitting on the cube list (the classic Espresso TAUTOLOGY procedure);
+/// cost scales with the cube count, never 2^n.  Exposed for tests.
+bool cover_tautology(const std::vector<Cube>& cubes, int num_vars);
+
+/// True iff every minterm of `c` is covered by `cover` (containment via
+/// tautology of the cofactor of `cover` with respect to `c`).
+bool cube_contained_in_cover(const Cube& c, const std::vector<Cube>& cover,
+                             int num_vars);
+
+}  // namespace addm::logic

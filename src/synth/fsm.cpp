@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "logic/isop.hpp"
+#include "logic/minimize.hpp"
 #include "logic/sop_map.hpp"
 #include "synth/counter.hpp"
 
@@ -80,7 +80,7 @@ FsmPorts build_encoded(NetlistBuilder& b, const FsmSpec& spec, NetId enable, Net
     TruthTable onset(bits);
     for (std::uint32_t s = 0; s < n; ++s)
       if ((code(spec.next_state[s]) >> k) & 1) onset.set(code(s), true);
-    const Cover cov = logic::isop(onset, onset | dc);
+    const Cover cov = logic::minimize(onset, onset | dc, style.minimize);
     const NetId d = logic::map_cover(b, cov, q);
     nl.add_cell(CellType::DffER, {d, enable, reset}, q[static_cast<std::size_t>(k)]);
   }
@@ -93,7 +93,7 @@ FsmPorts build_encoded(NetlistBuilder& b, const FsmSpec& spec, NetId enable, Net
     TruthTable onset(bits);
     for (std::uint32_t s = 0; s < n; ++s)
       if (spec.select_of_state[s] == l) onset.set(code(s), true);
-    const Cover cov = logic::isop(onset, onset | dc);
+    const Cover cov = logic::minimize(onset, onset | dc, style.minimize);
     ports.select[l] = logic::map_cover(b, cov, q);
   }
   b.set_sharing(saved_sharing);

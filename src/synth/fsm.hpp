@@ -5,7 +5,8 @@
 // input advancing it, and one-hot select-line outputs. This generator
 // synthesizes such machines from a state table:
 //  * Binary/Gray encodings: next-state and output functions are minimized
-//    with ISOP (logic/isop.hpp) over the state code, unused codes used as
+//    over the state code via logic::minimize (ISOP by default, Espresso for
+//    large state spaces — FsmStyle::minimize selects), unused codes used as
 //    don't-cares, then mapped onto gates (flat or shared style).
 //  * OneHot encoding: one flip-flop per state, OR-gathered outputs (the
 //    encoding SFM uses; the paper's two-hot SRAG beats it on area).
@@ -15,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "logic/minimize.hpp"
 #include "netlist/builder.hpp"
 
 namespace addm::synth {
@@ -37,6 +39,10 @@ enum class FsmEncoding { Binary, Gray, OneHot };
 struct FsmStyle {
   FsmEncoding encoding = FsmEncoding::Binary;
   bool flat_mapping = true;  ///< no structural sharing while mapping logic
+  /// Two-level minimizer for the next-state/output functions.  The default
+  /// routes everything through ISOP (byte-identical to the historical
+  /// behavior); large state spaces want MinimizerAlgo::Auto/Espresso.
+  logic::MinimizeOptions minimize;
 };
 
 struct FsmPorts {

@@ -1,0 +1,206 @@
+// Exhaustive and differential tests for the Espresso-style heuristic
+// minimizer (logic/espresso.hpp).
+//
+// The centerpiece is brute force: EVERY completely specified function of up
+// to 4 variables (2 + 4 + 16 + 256 + 65,536 tables) is minimized and the
+// cover certified against the defining contract — exact equivalence with
+// the input and irredundancy.  Randomized incompletely specified functions
+// extend the check to n = 10, and minimize_exact bounds the heuristic's
+// quality on functions small enough for exact covering.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+#include "logic/espresso.hpp"
+#include "logic/isop.hpp"
+#include "logic/qmc.hpp"
+
+namespace addm::logic {
+namespace {
+
+/// Canonical order espresso promises its covers in.
+bool canonically_sorted(const Cover& c) {
+  return std::is_sorted(c.cubes.begin(), c.cubes.end(),
+                        [](const Cube& a, const Cube& b) {
+                          if (a.mask != b.mask) return a.mask < b.mask;
+                          return a.polarity < b.polarity;
+                        });
+}
+
+/// Dense truth table for function index `bits` over n variables (bit m of
+/// `bits` is f(m)).
+TruthTable table_from_bits(int n, std::uint64_t bits) {
+  TruthTable t(n);
+  for (std::uint64_t m = 0; m < (std::uint64_t{1} << n); ++m)
+    if ((bits >> m) & 1) t.set(m, true);
+  return t;
+}
+
+/// Random table with each minterm on with probability num/den.
+TruthTable random_table(int n, std::mt19937& rng, int num, int den) {
+  TruthTable t(n);
+  std::uniform_int_distribution<int> d(0, den - 1);
+  for (std::uint64_t m = 0; m < (std::uint64_t{1} << n); ++m)
+    if (d(rng) < num) t.set(m, true);
+  return t;
+}
+
+TEST(Espresso, ExhaustiveAllFunctionsUpTo4Vars) {
+  for (int n = 0; n <= 4; ++n) {
+    const std::uint64_t num_functions = std::uint64_t{1} << (1 << n);
+    for (std::uint64_t bits = 0; bits < num_functions; ++bits) {
+      const TruthTable f = table_from_bits(n, bits);
+      const Cover c = espresso(f);
+      ASSERT_EQ(c.to_truth_table(n), f)
+          << "n=" << n << " bits=" << bits << " cover=" << c.to_string();
+      ASSERT_TRUE(is_irredundant(c, f, n))
+          << "n=" << n << " bits=" << bits << " cover=" << c.to_string();
+      ASSERT_TRUE(canonically_sorted(c)) << "n=" << n << " bits=" << bits;
+    }
+  }
+}
+
+TEST(Espresso, RandomIncompletelySpecifiedUpTo10Vars) {
+  std::mt19937 rng(20020308);
+  for (int n = 5; n <= 10; ++n) {
+    for (int trial = 0; trial < 8; ++trial) {
+      const TruthTable lower = random_table(n, rng, 1, 4);
+      const TruthTable dc = random_table(n, rng, 1, 4);
+      const TruthTable upper = lower | dc;
+      const Cover c = espresso(lower, upper);
+      const TruthTable got = c.to_truth_table(n);
+      // L <= C <= U: every onset minterm covered, nothing outside U touched.
+      ASSERT_TRUE(lower.implies(got)) << "n=" << n << " trial=" << trial;
+      ASSERT_TRUE(got.implies(upper)) << "n=" << n << " trial=" << trial;
+      ASSERT_TRUE(is_irredundant(c, lower, n)) << "n=" << n << " trial=" << trial;
+      ASSERT_TRUE(canonically_sorted(c));
+    }
+  }
+}
+
+TEST(Espresso, CubeCountWithinBoundedFactorOfExact) {
+  // Sparse random functions keep the exact branch-and-bound fast; the
+  // heuristic must stay within 4/3 of the minimum cube count (+1 slack for
+  // tiny covers where one extra cube is a large ratio).
+  std::mt19937 rng(42);
+  for (int n = 5; n <= 8; ++n) {
+    for (int trial = 0; trial < 6; ++trial) {
+      const TruthTable f = random_table(n, rng, 1, 8);
+      const int exact = minimize_exact(f).num_cubes();
+      const int heur = espresso(f).num_cubes();
+      ASSERT_GE(heur, exact);
+      ASSERT_LE(heur * 3, exact * 4 + 3)
+          << "n=" << n << " trial=" << trial << " exact=" << exact
+          << " espresso=" << heur;
+    }
+  }
+}
+
+TEST(Espresso, MatchesIsopCoverFunctionOnStructuredFunctions) {
+  // The counter-style functions FSM synthesis feeds the minimizer.
+  for (int n = 4; n <= 8; ++n) {
+    const std::uint64_t len = std::uint64_t{1} << n;
+    for (int k = 0; k < n; ++k) {
+      TruthTable f(n);
+      for (std::uint64_t s = 0; s < len; ++s)
+        if ((((s + 1) % len) >> k) & 1) f.set(s, true);
+      const Cover c = espresso(f);
+      EXPECT_EQ(c.to_truth_table(n), f);
+      EXPECT_TRUE(is_irredundant(c, f, n));
+    }
+  }
+}
+
+TEST(Espresso, DeterministicAcrossRepeatedCalls) {
+  std::mt19937 rng(7);
+  const TruthTable lower = random_table(9, rng, 1, 3);
+  const TruthTable upper = lower | random_table(9, rng, 1, 3);
+  const Cover a = espresso(lower, upper);
+  const Cover b = espresso(lower, upper);
+  ASSERT_EQ(a.cubes.size(), b.cubes.size());
+  for (std::size_t i = 0; i < a.cubes.size(); ++i) EXPECT_EQ(a.cubes[i], b.cubes[i]);
+}
+
+TEST(Espresso, ConstantAndDegenerateFunctions) {
+  EXPECT_EQ(espresso(TruthTable::zeros(5)).num_cubes(), 0);
+  const Cover ones = espresso(TruthTable::ones(5));
+  ASSERT_EQ(ones.num_cubes(), 1);
+  EXPECT_EQ(ones.cubes[0].num_literals(), 0);
+  // Lower zero, upper anything: the empty cover is minimal.
+  EXPECT_EQ(espresso(TruthTable::zeros(5), TruthTable::var(5, 2)).num_cubes(), 0);
+  // Upper all-ones with a nonempty lower: the universe cube.
+  const Cover u = espresso(TruthTable::var(5, 1), TruthTable::ones(5));
+  ASSERT_EQ(u.num_cubes(), 1);
+  EXPECT_EQ(u.cubes[0].num_literals(), 0);
+}
+
+TEST(Espresso, RejectsBadArguments) {
+  EXPECT_THROW(espresso(TruthTable::zeros(3), TruthTable::zeros(4)),
+               std::invalid_argument);
+  EXPECT_THROW(espresso(TruthTable::ones(3), TruthTable::var(3, 0)),
+               std::invalid_argument);
+}
+
+TEST(CoverTautology, BasicCases) {
+  EXPECT_FALSE(cover_tautology({}, 3));
+  EXPECT_TRUE(cover_tautology({Cube::universe()}, 3));
+  // x0 + x0' is a tautology; x0 + x1 is not.
+  EXPECT_TRUE(cover_tautology({{0b1, 0b1}, {0b1, 0b0}}, 3));
+  EXPECT_FALSE(cover_tautology({{0b1, 0b1}, {0b10, 0b10}}, 3));
+  // All four minterms of two variables as cubes: tautology over any n that
+  // only uses those two variables.
+  EXPECT_TRUE(cover_tautology(
+      {{0b11, 0b00}, {0b11, 0b01}, {0b11, 0b10}, {0b11, 0b11}}, 2));
+}
+
+TEST(CoverTautology, AgreesWithDenseEvaluationOnRandomCovers) {
+  std::mt19937 rng(99);
+  std::uniform_int_distribution<std::uint32_t> dist(0, (1u << 6) - 1);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Cube> cubes;
+    const int count = 1 + static_cast<int>(dist(rng) % 12);
+    for (int i = 0; i < count; ++i) {
+      Cube c;
+      c.mask = dist(rng);
+      c.polarity = dist(rng) & c.mask;
+      cubes.push_back(c);
+    }
+    Cover cov;
+    cov.cubes = cubes;
+    const bool dense = cov.to_truth_table(6).is_ones();
+    EXPECT_EQ(cover_tautology(cubes, 6), dense) << "trial " << trial;
+  }
+}
+
+TEST(CubeContainment, AgreesWithDenseEvaluation) {
+  std::mt19937 rng(123);
+  std::uniform_int_distribution<std::uint32_t> dist(0, (1u << 5) - 1);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Cube> cubes;
+    const int count = 1 + static_cast<int>(dist(rng) % 8);
+    for (int i = 0; i < count; ++i) {
+      Cube c;
+      c.mask = dist(rng);
+      c.polarity = dist(rng) & c.mask;
+      cubes.push_back(c);
+    }
+    Cube probe;
+    probe.mask = dist(rng);
+    probe.polarity = dist(rng) & probe.mask;
+    Cover cov;
+    cov.cubes = cubes;
+    const TruthTable covered = cov.to_truth_table(5);
+    bool dense = true;
+    for (std::uint64_t m = 0; m < 32; ++m)
+      if (probe.covers(m) && !covered.get(m)) {
+        dense = false;
+        break;
+      }
+    EXPECT_EQ(cube_contained_in_cover(probe, cubes, 5), dense) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace addm::logic

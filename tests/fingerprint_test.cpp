@@ -91,6 +91,43 @@ TEST(Fingerprint, ArchsSubsetsGetDistinctCanonicalKeys) {
   EXPECT_EQ(options_fingerprint(everything), full);
 }
 
+TEST(Fingerprint, MinimizerHashedOnlyWhenNonDefault) {
+  // The verify_front pattern: the default (Isop) hashes nothing, keeping
+  // pre-dispatcher cache directories warm; non-default selections change
+  // covers and must get their own keys.
+  const ExploreOptions base;
+  const std::uint64_t h0 = options_fingerprint(base);
+
+  // Isop ignores the Auto threshold, so every Isop spelling shares the
+  // pinned default key.
+  ExploreOptions isop_tuned = base;
+  isop_tuned.minimize.heuristic_min_vars = 3;
+  EXPECT_EQ(options_fingerprint(isop_tuned), h0);
+
+  ExploreOptions esp = base;
+  esp.minimize.algo = logic::MinimizerAlgo::Espresso;
+  EXPECT_NE(options_fingerprint(esp), h0);
+
+  ExploreOptions exact = base;
+  exact.minimize.algo = logic::MinimizerAlgo::Exact;
+  EXPECT_NE(options_fingerprint(exact), h0);
+  EXPECT_NE(options_fingerprint(exact), options_fingerprint(esp));
+
+  // Espresso-always ignores the threshold too: equal output, equal key.
+  ExploreOptions esp_tuned = esp;
+  esp_tuned.minimize.heuristic_min_vars = 3;
+  EXPECT_EQ(options_fingerprint(esp_tuned), options_fingerprint(esp));
+
+  // Auto's output depends on the threshold, so the threshold is hashed.
+  ExploreOptions auto_a = base;
+  auto_a.minimize.algo = logic::MinimizerAlgo::Auto;
+  ExploreOptions auto_b = auto_a;
+  auto_b.minimize.heuristic_min_vars = 3;
+  EXPECT_NE(options_fingerprint(auto_a), h0);
+  EXPECT_NE(options_fingerprint(auto_a), options_fingerprint(esp));
+  EXPECT_NE(options_fingerprint(auto_a), options_fingerprint(auto_b));
+}
+
 TEST(Fingerprint, OptionsHashSeesEveryExplorationField) {
   const ExploreOptions base;
   const std::uint64_t h0 = options_fingerprint(base);

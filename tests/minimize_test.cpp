@@ -1,0 +1,173 @@
+// Tests for the unified minimize() dispatcher (logic/minimize.hpp): routing
+// policy, uniform error paths across backends, equivalence of the default
+// path with the historical direct-isop calls, and pinned ("golden") cover
+// costs guarding the covers that exploration fingerprints depend on.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <stdexcept>
+
+#include "logic/espresso.hpp"
+#include "logic/isop.hpp"
+#include "logic/minimize.hpp"
+#include "logic/qmc.hpp"
+
+namespace addm::logic {
+namespace {
+
+TruthTable counter_bit(int n, int k) {
+  const std::uint64_t len = std::uint64_t{1} << n;
+  TruthTable f(n);
+  for (std::uint64_t s = 0; s < len; ++s)
+    if ((((s + 1) % len) >> k) & 1) f.set(s, true);
+  return f;
+}
+
+TruthTable seeded_random(int n, std::uint32_t seed, int one_in) {
+  std::mt19937 rng(seed);
+  TruthTable f(n);
+  for (std::uint64_t m = 0; m < (std::uint64_t{1} << n); ++m)
+    if (rng() % one_in == 0) f.set(m, true);
+  return f;
+}
+
+TEST(Minimize, DefaultOptionsReproduceIsopCubeForCube) {
+  // The determinism contract hinges on this: with default MinimizeOptions,
+  // every synthesized cover is byte-identical to the pre-dispatcher
+  // logic::isop output, so default exploration fingerprints stay pinned.
+  std::mt19937 rng(1);
+  for (int n = 3; n <= 9; ++n) {
+    TruthTable lower(n), dc(n);
+    for (std::uint64_t m = 0; m < (std::uint64_t{1} << n); ++m) {
+      const auto r = rng() % 4;
+      if (r == 0) lower.set(m, true);
+      else if (r == 1) dc.set(m, true);
+    }
+    const TruthTable upper = lower | dc;
+    const Cover via_dispatcher = minimize(lower, upper);
+    const Cover direct = isop(lower, upper);
+    ASSERT_EQ(via_dispatcher.cubes.size(), direct.cubes.size()) << "n=" << n;
+    for (std::size_t i = 0; i < direct.cubes.size(); ++i)
+      EXPECT_EQ(via_dispatcher.cubes[i], direct.cubes[i]) << "n=" << n;
+  }
+}
+
+TEST(Minimize, RoutingPolicy) {
+  MinimizeOptions o;
+  EXPECT_EQ(selected_minimizer(4, o), MinimizerAlgo::Isop);
+  EXPECT_EQ(selected_minimizer(20, o), MinimizerAlgo::Isop);
+
+  o.algo = MinimizerAlgo::Exact;
+  EXPECT_EQ(selected_minimizer(4, o), MinimizerAlgo::Exact);
+
+  o.algo = MinimizerAlgo::Espresso;
+  EXPECT_EQ(selected_minimizer(2, o), MinimizerAlgo::Espresso);
+
+  o.algo = MinimizerAlgo::Auto;
+  EXPECT_EQ(selected_minimizer(kDefaultHeuristicMinVars - 1, o), MinimizerAlgo::Isop);
+  EXPECT_EQ(selected_minimizer(kDefaultHeuristicMinVars, o), MinimizerAlgo::Espresso);
+  o.heuristic_min_vars = 3;
+  EXPECT_EQ(selected_minimizer(2, o), MinimizerAlgo::Isop);
+  EXPECT_EQ(selected_minimizer(3, o), MinimizerAlgo::Espresso);
+}
+
+TEST(Minimize, MinimizerNames) {
+  EXPECT_STREQ(minimizer_name(MinimizerAlgo::Isop), "isop");
+  EXPECT_STREQ(minimizer_name(MinimizerAlgo::Exact), "exact");
+  EXPECT_STREQ(minimizer_name(MinimizerAlgo::Espresso), "espresso");
+  EXPECT_STREQ(minimizer_name(MinimizerAlgo::Auto), "auto");
+}
+
+TEST(Minimize, AllBackendsProduceValidCovers) {
+  const TruthTable lower = seeded_random(7, 11, 4);
+  const TruthTable upper = lower | seeded_random(7, 12, 4);
+  for (MinimizerAlgo algo : {MinimizerAlgo::Isop, MinimizerAlgo::Exact,
+                             MinimizerAlgo::Espresso, MinimizerAlgo::Auto}) {
+    MinimizeOptions o;
+    o.algo = algo;
+    const Cover c = minimize(lower, upper, o);
+    const TruthTable got = c.to_truth_table(7);
+    EXPECT_TRUE(lower.implies(got)) << minimizer_name(algo);
+    EXPECT_TRUE(got.implies(upper)) << minimizer_name(algo);
+  }
+}
+
+TEST(Minimize, UniformErrorPathsAcrossBackends) {
+  const TruthTable three = TruthTable::var(3, 0);
+  const TruthTable four = TruthTable::var(4, 0);
+  for (MinimizerAlgo algo : {MinimizerAlgo::Isop, MinimizerAlgo::Exact,
+                             MinimizerAlgo::Espresso, MinimizerAlgo::Auto}) {
+    MinimizeOptions o;
+    o.algo = algo;
+    // Mismatched variable counts.
+    EXPECT_THROW(minimize(three, four, o), std::invalid_argument)
+        << minimizer_name(algo);
+    // Lower bound escaping the upper bound.
+    EXPECT_THROW(minimize(TruthTable::ones(3), three, o), std::invalid_argument)
+        << minimizer_name(algo);
+  }
+  // The exact backend's own capacity limit still surfaces.
+  EXPECT_THROW(prime_implicants(TruthTable::ones(13), TruthTable::ones(13)),
+               std::invalid_argument);
+  // Backends reject the same bad bounds when called directly, too.
+  EXPECT_THROW(isop(TruthTable::ones(3), three), std::invalid_argument);
+  EXPECT_THROW(espresso(TruthTable::ones(3), three), std::invalid_argument);
+}
+
+TEST(Minimize, GoldenCoverCosts) {
+  // Pinned costs of the default (isop) path on a fixed function set.  These
+  // covers feed netlists, metrics, and ultimately the pinned exploration
+  // fingerprints — a change here means persisted caches and golden reports
+  // go stale, which must be deliberate, never accidental.
+  struct GoldenEntry {
+    int bit;
+    int cubes;
+    int literals;
+  };
+  const GoldenEntry counter6[] = {{0, 1, 1}, {1, 2, 4}, {2, 3, 7}};
+  for (const auto& g : counter6) {
+    const Cover c = minimize(counter_bit(6, g.bit));
+    EXPECT_EQ(c.num_cubes(), g.cubes) << "bit " << g.bit;
+    EXPECT_EQ(c.num_literals(), g.literals) << "bit " << g.bit;
+  }
+
+  std::mt19937 rng(2002);
+  const int rand7_cubes[] = {23, 26, 26};
+  const int rand7_lits[] = {132, 151, 155};
+  for (int t = 0; t < 3; ++t) {
+    TruthTable f(7);
+    for (std::uint64_t m = 0; m < 128; ++m)
+      if (rng() % 3 == 0) f.set(m, true);
+    const Cover c = minimize(f);
+    EXPECT_EQ(c.num_cubes(), rand7_cubes[t]) << "trial " << t;
+    EXPECT_EQ(c.num_literals(), rand7_lits[t]) << "trial " << t;
+  }
+
+  std::mt19937 rng2(317);
+  TruthTable lower(8), dc(8);
+  for (std::uint64_t m = 0; m < 256; ++m) {
+    const auto r = rng2() % 4;
+    if (r == 0) lower.set(m, true);
+    else if (r == 1) dc.set(m, true);
+  }
+  const Cover c = minimize(lower, lower | dc);
+  EXPECT_EQ(c.num_cubes(), 35);
+  EXPECT_EQ(c.num_literals(), 215);
+}
+
+TEST(Minimize, ExactBackendNeverBeatenByHeuristics) {
+  std::mt19937 rng(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    const TruthTable f = seeded_random(6, 100 + trial, 5);
+    MinimizeOptions exact_opt;
+    exact_opt.algo = MinimizerAlgo::Exact;
+    const int exact = minimize(f, exact_opt).num_cubes();
+    MinimizeOptions esp_opt;
+    esp_opt.algo = MinimizerAlgo::Espresso;
+    EXPECT_LE(exact, minimize(f, esp_opt).num_cubes());
+    EXPECT_LE(exact, minimize(f).num_cubes());
+  }
+}
+
+}  // namespace
+}  // namespace addm::logic

@@ -122,6 +122,35 @@ TEST(RegistryDeterminism, BatchReportsIdenticalAcrossThreadMatrix) {
   }
 }
 
+TEST(RegistryDeterminism, EspressoMinimizerDeterministicAcrossThreadMatrix) {
+  // FSM-heavy batch with the heuristic minimizer actually engaged: zigzag
+  // traces exercise the biggest FSM covers, and a threshold of 1 routes
+  // every minimize() call through espresso.  Reports must still be
+  // byte-identical at every threads x arch_threads combination, and must
+  // differ from the default-isop reports' metrics only through the
+  // minimizer's (equivalent, possibly differently shaped) covers.
+  const std::vector<seq::AddressTrace> traces = {seq::zigzag({16, 16}),
+                                                 seq::strided({16, 16}, 3),
+                                                 seq::incremental({16, 16})};
+  std::string csv_ref;
+  for (std::size_t threads : {1u, 4u}) {
+    for (std::size_t arch_threads : {1u, 4u}) {
+      BatchOptions opt;
+      opt.threads = threads;
+      opt.explore.arch_threads = arch_threads;
+      opt.explore.minimize.algo = logic::MinimizerAlgo::Auto;
+      opt.explore.minimize.heuristic_min_vars = 1;
+      BatchExplorer batch(opt);
+      const std::string csv = batch_report_csv(batch.run(traces));
+      if (csv_ref.empty())
+        csv_ref = csv;
+      else
+        EXPECT_EQ(csv, csv_ref) << threads << "x" << arch_threads;
+    }
+  }
+  EXPECT_FALSE(csv_ref.empty());
+}
+
 TEST(RegistryDeterminism, DegenerateTraceThrowsAtEveryThreadCount) {
   // Multiple entries fail for an empty-geometry trace; the driver must
   // surface the registry-first failure deterministically so batch error

@@ -29,6 +29,7 @@
 
 #include "cli_util.hpp"
 #include "core/batch_explorer.hpp"
+#include "logic/minimize.hpp"
 #include "seq/trace_io.hpp"
 #include "seq/workloads.hpp"
 
@@ -60,6 +61,13 @@ void usage(const char* argv0) {
       << "  --no-fsm             skip symbolic-FSM candidates\n"
       << "  --max-fsm-states N   FSM feasibility cap (default 1024)\n"
       << "  --max-fanout N       buffering fanout limit\n"
+      << "  --minimizer M        two-level minimizer for FSM/CntAG synthesis:\n"
+      << "                       isop (default), espresso, exact, or auto\n"
+      << "                       (auto = isop below the espresso threshold)\n"
+      << "  --espresso-threshold N\n"
+      << "                       with --minimizer auto, use espresso for\n"
+      << "                       functions of >= N variables (default "
+      << addm::logic::kDefaultHeuristicMinVars << ")\n"
       << "  --verify-front       gate-level-verify every Pareto point in the\n"
       << "                       64-lane word simulator; verdicts annotate the\n"
       << "                       report notes (distinct cache keys)\n"
@@ -169,6 +177,29 @@ int main(int argc, char** argv) {
         std::cerr << argv[0] << ": --max-fsm-states expects a number\n";
         return 2;
       }
+    } else if (arg == "--minimizer") {
+      const std::string name = need_value();
+      using addm::logic::MinimizerAlgo;
+      if (name == "isop") {
+        opt.explore.minimize.algo = MinimizerAlgo::Isop;
+      } else if (name == "exact") {
+        opt.explore.minimize.algo = MinimizerAlgo::Exact;
+      } else if (name == "espresso") {
+        opt.explore.minimize.algo = MinimizerAlgo::Espresso;
+      } else if (name == "auto") {
+        opt.explore.minimize.algo = MinimizerAlgo::Auto;
+      } else {
+        std::cerr << argv[0]
+                  << ": --minimizer must be isop, exact, espresso or auto\n";
+        return 2;
+      }
+    } else if (arg == "--espresso-threshold") {
+      std::size_t v = 0;
+      if (!parse_size(need_value(), v) || v == 0 || v > 24) {
+        std::cerr << argv[0] << ": --espresso-threshold expects 1..24\n";
+        return 2;
+      }
+      opt.explore.minimize.heuristic_min_vars = static_cast<int>(v);
     } else if (arg == "--max-fanout") {
       std::size_t v = 0;
       if (!parse_size(need_value(), v) || v == 0) {
