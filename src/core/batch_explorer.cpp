@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <sstream>
@@ -176,6 +177,9 @@ BatchResult BatchExplorer::run(const std::vector<seq::AddressTrace>& traces) {
   std::size_t disk_hits = 0;
   /// Owner-evaluated successful outcomes, flushed to disk after the run.
   std::vector<std::pair<std::uint64_t, std::shared_ptr<const Outcome>>> fresh;
+  /// Per-trace-fingerprint disk-hit counts, credited to the persistent
+  /// cache after the run (std::map: deterministic iteration by key).
+  std::map<std::uint64_t, std::uint64_t> disk_hit_counts;
 
   auto work = [&](std::size_t i) {
     const seq::AddressTrace& trace = traces[i];
@@ -216,10 +220,12 @@ BatchResult BatchExplorer::run(const std::vector<seq::AddressTrace>& traces) {
           fresh.emplace_back(entry.trace_hash, std::move(computed));
       } else {
         std::lock_guard<std::mutex> lk(stats_mu);
-        if (from_disk)
+        if (from_disk) {
           ++disk_hits;
-        else
+          if (use_disk) ++disk_hit_counts[entry.trace_hash];
+        } else {
           ++cache_hits;
+        }
       }
       outcome = future.get();
     }
@@ -235,20 +241,38 @@ BatchResult BatchExplorer::run(const std::vector<seq::AddressTrace>& traces) {
   // Flush: persist this run's newly computed successes.  Errors are never
   // cached (a transient failure must not become permanent), and I/O errors
   // only cost the entry.  Owners finish — and, with duplicated traces, are
-  // even *chosen* — in scheduling order, so sort the flush by cache key
-  // first: cache directories (index.txt line order included) then come out
-  // byte-identical at every thread split.  Keys in `fresh` are unique (one
-  // owner per key), so the order is total.
-  if (use_disk && !fresh.empty()) {
-    std::sort(fresh.begin(), fresh.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
+  // even *chosen* — in scheduling order, but store_batch writes the batch
+  // in cache-key order under one insertion generation, so cache directories
+  // (index.txt line order included) come out byte-identical at every thread
+  // split.  After the store, warm-start hits observed this run are credited
+  // to their entries (prune's eviction priority feeds on them), and when a
+  // byte budget is configured the directory is pruned back under it — the
+  // flush-time enforcement that keeps a bounded directory bounded.
+  if (use_disk) {
     EvalCacheDir store(opt_.cache_dir);
-    for (const auto& [trace_fp, outcome] : fresh) {
-      EvalCacheEntry e;
-      e.key = {trace_fp, opt_fp};
-      e.points = outcome->points;
-      e.pareto = outcome->pareto;
-      if (store.store(e)) ++result.disk_entries_stored;
+    if (!fresh.empty()) {
+      std::vector<EvalCacheEntry> batch;
+      batch.reserve(fresh.size());
+      for (const auto& [trace_fp, outcome] : fresh) {
+        EvalCacheEntry e;
+        e.key = {trace_fp, opt_fp};
+        e.points = outcome->points;
+        e.pareto = outcome->pareto;
+        batch.push_back(std::move(e));
+      }
+      result.disk_entries_stored = store.store_batch(batch);
+    }
+    if (!disk_hit_counts.empty()) {
+      std::vector<std::pair<EvalCacheKey, std::uint64_t>> hits;
+      hits.reserve(disk_hit_counts.size());
+      for (const auto& [trace_fp, count] : disk_hit_counts)
+        hits.push_back({{trace_fp, opt_fp}, count});
+      store.record_hits(hits);
+    }
+    if (opt_.cache_budget_bytes != 0) {
+      const EvalCacheDir::MaintenanceStats pruned =
+          store.prune(UINT64_MAX, opt_.cache_budget_bytes);
+      if (pruned.ok) result.disk_entries_evicted = pruned.evicted;
     }
   }
 

@@ -49,6 +49,12 @@ struct BatchOptions {
   /// concurrent processes may share one directory.  Requires `memoize`;
   /// ignored when memoization is disabled.
   std::string cache_dir;
+  /// When non-zero, an on-disk size budget (total payload bytes) enforced
+  /// after each flush by pruning the cache directory in the deterministic
+  /// eviction order of EvalCacheDir::prune, so a bounded directory stays
+  /// bounded across runs.  Lifecycle-only: it never affects results and is
+  /// not fingerprinted.  Requires `cache_dir`.
+  std::uint64_t cache_budget_bytes = 0;
 };
 
 /// Per-trace exploration outcome, in input order.  Plain value type: every
@@ -74,6 +80,7 @@ struct BatchResult {
   std::size_t disk_hits = 0;    ///< traces served from entries loaded off disk
   std::size_t disk_entries_loaded = 0;  ///< options-matching entries warm-started
   std::size_t disk_entries_stored = 0;  ///< new entries flushed to disk this run
+  std::size_t disk_entries_evicted = 0;  ///< entries pruned by cache_budget_bytes
   double wall_seconds = 0.0;    ///< not part of any serialized report
 };
 

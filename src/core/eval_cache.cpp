@@ -8,6 +8,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <utility>
@@ -126,18 +127,32 @@ std::string entry_filename(const EvalCacheKey& key) {
   return hex64(key.trace_hash) + "-" + hex64(key.options_hash) + ".entry";
 }
 
+/// Inverse of entry_filename: recognizes `<16hex>-<16hex>.entry` names so
+/// maintenance can re-adopt payload files whose index lines were lost.
+bool parse_entry_filename(const std::string& name, EvalCacheKey& key) {
+  if (name.size() != 16 + 1 + 16 + 6) return false;
+  if (name[16] != '-' || name.compare(33, 6, ".entry") != 0) return false;
+  return parse_hex64(std::string_view(name).substr(0, 16), key.trace_hash) &&
+         parse_hex64(std::string_view(name).substr(17, 16), key.options_hash);
+}
+
 std::uint64_t payload_checksum(std::string_view payload) {
   Fnv1a64 h;
   h.bytes(payload.data(), payload.size());
   return h.digest();
 }
 
-bool read_file(const fs::path& path, std::string& out) {
+/// Slurps a payload file, stat-first: anything that is not a plain regular
+/// file (vanished entry, payload replaced by a directory or FIFO) degrades
+/// to a miss here instead of surfacing a stream read error downstream.
+bool read_payload(const fs::path& path, std::string& out) {
+  std::error_code ec;
+  if (!fs::is_regular_file(path, ec) || ec) return false;
   std::ifstream in(path, std::ios::binary);
   if (!in) return false;
   std::ostringstream os;
   os << in.rdbuf();
-  if (!in.good() && !in.eof()) return false;
+  if (in.bad()) return false;
   out = os.str();
   return true;
 }
@@ -149,40 +164,118 @@ bool key_less(const EvalCacheKey& a, const EvalCacheKey& b) {
   return a.options_hash < b.options_hash;
 }
 
-/// Reads the index and returns the deduplicated key list (unsorted).  A
-/// missing index, a bad magic/version header, or malformed lines yield an
-/// empty / reduced list; `skipped` counts tolerated damage.
-std::vector<EvalCacheKey> read_index(const fs::path& dir, std::size_t& skipped) {
-  std::vector<EvalCacheKey> keys;
-  std::ifstream in(dir / kIndexName);
-  if (!in) return keys;
+using KeyPair = std::pair<std::uint64_t, std::uint64_t>;
 
-  const std::string header = std::string(kIndexMagic) + " " +
-                             std::to_string(kEvalCacheFormatVersion);
+KeyPair to_pair(const EvalCacheKey& k) { return {k.trace_hash, k.options_hash}; }
+
+std::string index_header(int version) {
+  return std::string(kIndexMagic) + " " + std::to_string(version);
+}
+
+/// Commutative metadata fold: record order must never influence the result
+/// (prune determinism under index-line permutation depends on it).
+void combine_meta(EvalCacheMeta& into, const EvalCacheMeta& add) {
+  into.hits += add.hits;
+  if (add.generation != 0 &&
+      (into.generation == 0 || add.generation < into.generation))
+    into.generation = add.generation;
+  into.bytes = std::max(into.bytes, add.bytes);
+}
+
+/// Everything one pass over index.txt yields.  `version` is 0 for a missing
+/// index, -1 for a malformed first line, else the header's version number
+/// (which may be a future one — callers decide how to treat it; keys are
+/// only collected for versions this build understands).
+struct IndexData {
+  int version = 0;
+  std::vector<EvalCacheKey> keys;  ///< unique, first-occurrence order
+  std::map<KeyPair, EvalCacheMeta> meta;
+  std::uint64_t max_generation = 0;
+  std::size_t damage = 0;
+};
+
+IndexData read_index(const fs::path& dir) {
+  IndexData idx;
+  std::ifstream in(dir / kIndexName);
+  if (!in) return idx;
+
   std::string line;
-  if (!std::getline(in, line)) return keys;
-  if (line != header) {
-    ++skipped;  // foreign or other-version cache: treat as empty
-    return keys;
+  if (!std::getline(in, line)) return idx;  // empty file: treat as missing
+  {
+    const auto tokens = split_tokens(line);
+    std::uint64_t version = 0;
+    if (tokens.size() != 2 || tokens[0] != kIndexMagic ||
+        !parse_u64(tokens[1], version) || version == 0 ||
+        version > static_cast<std::uint64_t>(INT32_MAX)) {
+      idx.version = -1;
+      ++idx.damage;
+      return idx;
+    }
+    idx.version = static_cast<int>(version);
+  }
+  if (idx.version > kEvalCacheFormatVersion) {
+    // Future format: readers must not guess at its records.
+    ++idx.damage;
+    return idx;
   }
 
-  std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+  // Hit records may precede their entry record only through manual edits;
+  // accumulate them separately and credit indexed keys at the end so the
+  // fold is line-order independent.
+  std::map<KeyPair, std::uint64_t> pending_hits;
+  const std::string own_header = index_header(idx.version);
   while (std::getline(in, line)) {
     // Two processes racing on first creation can both append the header;
     // the duplicate is expected noise, not damage.
-    if (line == header) continue;
+    if (line == own_header) continue;
+    if (line.empty()) continue;
     const auto tokens = split_tokens(line);
     EvalCacheKey key;
-    if (tokens.size() != 3 || tokens[0] != "entry" ||
-        !parse_hex64(tokens[1], key.trace_hash) || tokens[1].size() != 16 ||
-        !parse_hex64(tokens[2], key.options_hash) || tokens[2].size() != 16) {
-      if (!line.empty()) ++skipped;
+    if (tokens.size() >= 3 && tokens[0] == "entry" &&
+        parse_hex64(tokens[1], key.trace_hash) && tokens[1].size() == 16 &&
+        parse_hex64(tokens[2], key.options_hash) && tokens[2].size() == 16) {
+      EvalCacheMeta meta;
+      bool ok = tokens.size() == 3;
+      if (tokens.size() == 6) {
+        ok = parse_u64(tokens[3], meta.generation) &&
+             parse_u64(tokens[4], meta.hits) && parse_u64(tokens[5], meta.bytes);
+      }
+      if (!ok) {
+        ++idx.damage;
+        continue;
+      }
+      auto [it, inserted] = idx.meta.try_emplace(to_pair(key), meta);
+      if (inserted)
+        idx.keys.push_back(key);
+      else
+        combine_meta(it->second, meta);
+      idx.max_generation = std::max(idx.max_generation, meta.generation);
       continue;
     }
-    if (!seen.insert({key.trace_hash, key.options_hash}).second) continue;
-    keys.push_back(key);
+    if (tokens.size() == 4 && tokens[0] == "hit" &&
+        parse_hex64(tokens[1], key.trace_hash) && tokens[1].size() == 16 &&
+        parse_hex64(tokens[2], key.options_hash) && tokens[2].size() == 16) {
+      std::uint64_t count = 0;
+      if (!parse_u64(tokens[3], count)) {
+        ++idx.damage;
+        continue;
+      }
+      pending_hits[to_pair(key)] += count;
+      continue;
+    }
+    ++idx.damage;
   }
-  return keys;
+  // Hits only ever credit indexed entries; a hit record surviving past its
+  // entry (pruned meanwhile) is ignorable noise, not damage.
+  for (const auto& [key, count] : pending_hits) {
+    auto it = idx.meta.find(key);
+    if (it != idx.meta.end()) it->second.hits += count;
+  }
+  return idx;
+}
+
+bool index_readable(const IndexData& idx) {
+  return idx.version == 1 || idx.version == kEvalCacheFormatVersion;
 }
 
 std::atomic<unsigned> g_tmp_counter{0};
@@ -215,11 +308,47 @@ bool atomic_write(const fs::path& path, const std::string& content) {
   return true;
 }
 
+std::string entry_record_line(int version, const EvalCacheKey& key,
+                              const EvalCacheMeta& meta) {
+  std::string line =
+      "entry " + hex64(key.trace_hash) + " " + hex64(key.options_hash);
+  if (version >= 2) {
+    line += " " + std::to_string(meta.generation) + " " +
+            std::to_string(meta.hits) + " " + std::to_string(meta.bytes);
+  }
+  line += "\n";
+  return line;
+}
+
+bool ensure_dir(const fs::path& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  return !ec || fs::is_directory(dir);
+}
+
+/// Appends `lines` (whole index lines) in one write, creating the index
+/// with a current-version header when it does not exist yet.  Refuses
+/// (returns false) when the index carries a future or unreadable header:
+/// appending there would "store" records no reader could trust.
+bool append_index_lines(const fs::path& dir, const IndexData& idx,
+                        const std::string& lines) {
+  const fs::path index = dir / kIndexName;
+  if (idx.version < 0 || idx.version > kEvalCacheFormatVersion) return false;
+  std::ofstream out(index, std::ios::app);
+  if (!out) return false;
+  std::string text;
+  if (idx.version == 0) text += index_header(kEvalCacheFormatVersion) + "\n";
+  text += lines;
+  out << text;
+  out.flush();
+  return static_cast<bool>(out);
+}
+
 }  // namespace
 
 std::string serialize_eval_entry(const EvalCacheEntry& entry) {
   std::ostringstream os;
-  os << kEntryMagic << " " << kEvalCacheFormatVersion << "\n";
+  os << kEntryMagic << " " << kEvalCacheEntryVersion << "\n";
   os << "key " << hex64(entry.key.trace_hash) << " " << hex64(entry.key.options_hash)
      << "\n";
   os << "points " << entry.points.size() << "\n";
@@ -266,7 +395,7 @@ bool parse_eval_entry(const std::string& text, EvalCacheEntry& out) {
     std::uint64_t version = 0;
     if (tokens.size() != 2 || tokens[0] != kEntryMagic ||
         !parse_u64(tokens[1], version) ||
-        version != static_cast<std::uint64_t>(kEvalCacheFormatVersion))
+        version != static_cast<std::uint64_t>(kEvalCacheEntryVersion))
       return false;
   }
 
@@ -338,13 +467,16 @@ std::vector<EvalCacheEntry> EvalCacheDir::load_all(EvalCacheLoadStats* stats) co
   EvalCacheLoadStats local;
   std::vector<EvalCacheEntry> entries;
   const fs::path dir(dir_);
-  std::vector<EvalCacheKey> keys = read_index(dir, local.skipped);
+  IndexData idx = read_index(dir);
+  local.skipped += idx.damage;
+  std::vector<EvalCacheKey> keys =
+      index_readable(idx) ? std::move(idx.keys) : std::vector<EvalCacheKey>{};
   std::sort(keys.begin(), keys.end(), key_less);
   for (const EvalCacheKey& key : keys) {
     std::string text;
     EvalCacheEntry entry;
-    if (!read_file(dir / entry_filename(key), text) || !parse_eval_entry(text, entry) ||
-        !(entry.key == key)) {
+    if (!read_payload(dir / entry_filename(key), text) ||
+        !parse_eval_entry(text, entry) || !(entry.key == key)) {
       ++local.skipped;
       continue;
     }
@@ -360,14 +492,17 @@ std::vector<EvalCacheEntry> EvalCacheDir::load_matching(
   EvalCacheLoadStats local;
   std::vector<EvalCacheEntry> entries;
   const fs::path dir(dir_);
-  std::vector<EvalCacheKey> keys = read_index(dir, local.skipped);
+  IndexData idx = read_index(dir);
+  local.skipped += idx.damage;
+  std::vector<EvalCacheKey> keys =
+      index_readable(idx) ? std::move(idx.keys) : std::vector<EvalCacheKey>{};
   std::sort(keys.begin(), keys.end(), key_less);
   for (const EvalCacheKey& key : keys) {
     if (key.options_hash != options_hash) continue;
     std::string text;
     EvalCacheEntry entry;
-    if (!read_file(dir / entry_filename(key), text) || !parse_eval_entry(text, entry) ||
-        !(entry.key == key)) {
+    if (!read_payload(dir / entry_filename(key), text) ||
+        !parse_eval_entry(text, entry) || !(entry.key == key)) {
       ++local.skipped;
       continue;
     }
@@ -381,96 +516,372 @@ std::vector<EvalCacheEntry> EvalCacheDir::load_matching(
 bool EvalCacheDir::load_entry(const EvalCacheKey& key, EvalCacheEntry& out) const {
   std::string text;
   EvalCacheEntry entry;
-  if (!read_file(fs::path(dir_) / entry_filename(key), text) ||
+  if (!read_payload(fs::path(dir_) / entry_filename(key), text) ||
       !parse_eval_entry(text, entry) || !(entry.key == key))
     return false;
   out = std::move(entry);
   return true;
 }
 
-namespace {
-
-bool ensure_dir(const fs::path& dir) {
-  std::error_code ec;
-  fs::create_directories(dir, ec);
-  return !ec || fs::is_directory(dir);
+std::vector<EvalCacheRecord> EvalCacheDir::read_records(
+    std::size_t* index_damage) const {
+  IndexData idx = read_index(fs::path(dir_));
+  if (index_damage) *index_damage = idx.damage;
+  std::vector<EvalCacheRecord> records;
+  if (!index_readable(idx)) return records;
+  records.reserve(idx.meta.size());
+  for (const auto& [key, meta] : idx.meta)
+    records.push_back({{key.first, key.second}, meta});
+  return records;  // std::map iteration == key order
 }
 
-/// Appends the index line for `key` (preceded by the header when the index
-/// does not exist yet).  Header and line go out as single whole-line
-/// writes; a line torn by a concurrent writer is skipped on load, and a
-/// duplicated header (two processes racing on first creation) is tolerated
-/// there too.  Refuses (returns false) when the index carries another
-/// version's header: appending there would "store" entries no reader of
-/// this version would ever see.  Delete the directory to upgrade.
-bool append_index(const fs::path& dir, const EvalCacheKey& key) {
-  const fs::path index = dir / kIndexName;
-  const std::string header = std::string(kIndexMagic) + " " +
-                             std::to_string(kEvalCacheFormatVersion);
-  bool fresh = true;
-  {
-    std::ifstream in(index);
-    std::string first;
-    if (in && std::getline(in, first)) {
-      if (first != header) return false;
-      fresh = false;
+bool EvalCacheDir::store(const EvalCacheEntry& entry) {
+  return store_batch({entry}) == 1;
+}
+
+std::size_t EvalCacheDir::store_batch(const std::vector<EvalCacheEntry>& entries) {
+  if (entries.empty()) return 0;
+  const fs::path dir(dir_);
+  if (!ensure_dir(dir)) return 0;
+  const IndexData idx = read_index(dir);
+  if (idx.version < 0 || idx.version > kEvalCacheFormatVersion) return 0;
+  const int record_version = idx.version == 0 ? kEvalCacheFormatVersion : idx.version;
+
+  std::vector<const EvalCacheEntry*> sorted;
+  sorted.reserve(entries.size());
+  for (const EvalCacheEntry& e : entries) sorted.push_back(&e);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const EvalCacheEntry* a, const EvalCacheEntry* b) {
+              return key_less(a->key, b->key);
+            });
+
+  // One insertion generation for the whole batch: entries flushed together
+  // age together, and the assignment is independent of flush scheduling.
+  EvalCacheMeta meta;
+  meta.generation = idx.max_generation + 1;
+
+  std::string lines;
+  std::size_t written = 0;
+  for (const EvalCacheEntry* e : sorted) {
+    const std::string payload = serialize_eval_entry(*e);
+    if (!atomic_write(dir / entry_filename(e->key), payload)) continue;
+    meta.bytes = payload.size();
+    lines += entry_record_line(record_version, e->key, meta);
+    ++written;
+  }
+  if (written == 0) return 0;
+  return append_index_lines(dir, idx, lines) ? written : 0;
+}
+
+bool EvalCacheDir::record_hits(
+    const std::vector<std::pair<EvalCacheKey, std::uint64_t>>& hits) {
+  if (hits.empty()) return true;
+  const fs::path dir(dir_);
+  const IndexData idx = read_index(dir);
+  // Hit records exist only in the v2 grammar; a v1 index keeps working
+  // without them (its entries just look cold to prune).
+  if (idx.version != kEvalCacheFormatVersion) return false;
+
+  std::vector<std::pair<EvalCacheKey, std::uint64_t>> sorted;
+  for (const auto& [key, count] : hits)
+    if (count != 0 && idx.meta.count(to_pair(key))) sorted.push_back({key, count});
+  if (sorted.empty()) return true;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return key_less(a.first, b.first); });
+
+  std::string lines;
+  for (const auto& [key, count] : sorted)
+    lines += "hit " + hex64(key.trace_hash) + " " + hex64(key.options_hash) + " " +
+             std::to_string(count) + "\n";
+  return append_index_lines(dir, idx, lines);
+}
+
+namespace {
+
+/// Shared core of compact/prune/merge: reduces `dst` (unioned with `srcs`)
+/// to the canonical directory form — validated entries only, combined
+/// metadata, key-sorted v2 index written atomically, and no unreferenced
+/// files.  See the header contracts of compact() and merge().
+struct CanonOut {
+  EvalCacheDir::MaintenanceStats m;
+  std::size_t copied = 0;  ///< payloads newly written from a source
+  std::size_t failed = 0;  ///< destination writes that failed
+};
+
+void scan_payload_files(const fs::path& dir,
+                        std::map<KeyPair, std::vector<fs::path>>& files) {
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) return;
+  for (const auto& e : it) {
+    if (!e.is_regular_file(ec) || ec) continue;
+    EvalCacheKey key;
+    if (!parse_entry_filename(e.path().filename().string(), key)) continue;
+    files[to_pair(key)].push_back(e.path());
+  }
+}
+
+CanonOut canonicalize(const fs::path& dst, const std::vector<fs::path>& srcs,
+                      std::uint64_t max_entries, std::uint64_t max_bytes) {
+  CanonOut out;
+  const bool dst_exists = fs::is_directory(dst);
+  if (!dst_exists && srcs.empty()) return out;  // nothing to do, nothing to create
+
+  IndexData didx = dst_exists ? read_index(dst) : IndexData{};
+  if (didx.version > kEvalCacheFormatVersion) {
+    out.m.ok = false;  // future cache: refuse rather than destroy it
+    return out;
+  }
+
+  // Record union: dst index, then every source index.  combine_meta is
+  // commutative and associative, so the result is independent of source
+  // order — the property behind merge/compact commutation.
+  std::map<KeyPair, EvalCacheMeta> records = std::move(didx.meta);
+  std::set<KeyPair> indexed;
+  for (const auto& [key, meta] : records) indexed.insert(key);
+  for (const fs::path& src : srcs) {
+    IndexData sidx = read_index(src);
+    if (!index_readable(sidx)) continue;
+    for (const auto& [key, meta] : sidx.meta) {
+      auto [it, inserted] = records.try_emplace(key, meta);
+      if (!inserted) combine_meta(it->second, meta);
+      indexed.insert(key);
     }
   }
-  std::ofstream out(index, std::ios::app);
-  if (!out) return false;
-  std::string lines;
-  if (fresh) lines += header + "\n";
-  lines += "entry " + hex64(key.trace_hash) + " " + hex64(key.options_hash) + "\n";
-  out << lines;
-  out.flush();
-  return static_cast<bool>(out);
+
+  // Payload candidates: dst files first (already in place), then sources.
+  // Valid files whose index record was lost (torn index write) are adopted
+  // back with default metadata.
+  std::map<KeyPair, std::vector<fs::path>> files;
+  if (dst_exists) scan_payload_files(dst, files);
+  for (const fs::path& src : srcs) scan_payload_files(src, files);
+  for (const auto& [key, paths] : files) records.try_emplace(key, EvalCacheMeta{});
+
+  struct Kept {
+    EvalCacheKey key;
+    EvalCacheMeta meta;
+    std::string canonical;
+    bool dst_canonical = false;  ///< dst already holds exactly these bytes
+    bool from_src = false;       ///< the valid payload came from a source dir
+  };
+  std::vector<Kept> kept;
+  for (const auto& [pair, meta] : records) {
+    const EvalCacheKey key{pair.first, pair.second};
+    auto fit = files.find(pair);
+    Kept k;
+    bool valid = false;
+    if (fit != files.end()) {
+      for (const fs::path& path : fit->second) {
+        std::string text;
+        EvalCacheEntry entry;
+        if (!read_payload(path, text) || !parse_eval_entry(text, entry) ||
+            !(entry.key == key))
+          continue;
+        k.canonical = serialize_eval_entry(entry);
+        const bool in_dst = dst_exists && path.parent_path() == dst;
+        k.dst_canonical = in_dst && text == k.canonical;
+        k.from_src = !in_dst;
+        valid = true;
+        break;
+      }
+    }
+    if (!valid) {
+      ++out.m.dropped;
+      continue;
+    }
+    k.key = key;
+    k.meta = meta;
+    k.meta.bytes = k.canonical.size();
+    if (!indexed.count(pair)) ++out.m.adopted;
+    kept.push_back(std::move(k));
+  }
+
+  // Budget: evict in ascending (hits, generation, key) order — least-hit
+  // first, then oldest generation — until both limits hold.  Evicting from
+  // the bottom of a fixed priority order keeps the decision a pure function
+  // of the recorded metadata.
+  std::uint64_t total_bytes = 0;
+  for (const Kept& k : kept) total_bytes += k.meta.bytes;
+  if (kept.size() > max_entries || total_bytes > max_bytes) {
+    std::vector<std::size_t> order(kept.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const Kept& x = kept[a];
+      const Kept& y = kept[b];
+      if (x.meta.hits != y.meta.hits) return x.meta.hits < y.meta.hits;
+      if (x.meta.generation != y.meta.generation)
+        return x.meta.generation < y.meta.generation;
+      return key_less(x.key, y.key);
+    });
+    std::set<std::size_t> evict;
+    for (std::size_t i : order) {
+      if (kept.size() - evict.size() <= max_entries && total_bytes <= max_bytes)
+        break;
+      evict.insert(i);
+      total_bytes -= kept[i].meta.bytes;
+    }
+    std::vector<Kept> survivors;
+    survivors.reserve(kept.size() - evict.size());
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+      if (evict.count(i))
+        ++out.m.evicted;
+      else
+        survivors.push_back(std::move(kept[i]));
+    }
+    kept = std::move(survivors);  // still key-sorted: evict only removes
+  }
+
+  if (!dst_exists && !ensure_dir(dst)) {
+    out.m.ok = false;
+    out.failed = kept.size();
+    return out;
+  }
+
+  // Materialize: write every kept payload whose destination bytes are not
+  // already canonical, then atomically replace the index.
+  std::set<std::string> referenced;
+  std::string index_text = index_header(kEvalCacheFormatVersion) + "\n";
+  for (auto it = kept.begin(); it != kept.end();) {
+    Kept& k = *it;
+    if (!k.dst_canonical &&
+        !atomic_write(dst / entry_filename(k.key), k.canonical)) {
+      ++out.failed;
+      it = kept.erase(it);  // cannot index what was not written
+      continue;
+    }
+    if (k.from_src) ++out.copied;
+    referenced.insert(entry_filename(k.key));
+    index_text += entry_record_line(kEvalCacheFormatVersion, k.key, k.meta);
+    ++out.m.kept;
+    out.m.bytes_kept += k.meta.bytes;
+    ++it;
+  }
+  if (!atomic_write(dst / kIndexName, index_text)) {
+    out.m.ok = false;
+    return out;
+  }
+
+  // Cleanup: after a successful rewrite the directory contains exactly the
+  // index plus one payload per indexed entry — corrupt payloads, evicted
+  // entries, and stale temp files all go.
+  std::error_code ec;
+  for (const auto& e : fs::directory_iterator(dst, ec)) {
+    if (!e.is_regular_file(ec) || ec) continue;
+    const std::string name = e.path().filename().string();
+    if (name == kIndexName || referenced.count(name)) continue;
+    std::error_code rm;
+    if (fs::remove(e.path(), rm) && !rm) ++out.m.files_removed;
+  }
+  return out;
 }
 
 }  // namespace
 
-bool EvalCacheDir::store(const EvalCacheEntry& entry) {
+EvalCacheDir::MaintenanceStats EvalCacheDir::compact() {
+  return canonicalize(fs::path(dir_), {}, UINT64_MAX, UINT64_MAX).m;
+}
+
+EvalCacheDir::MaintenanceStats EvalCacheDir::prune(std::uint64_t max_entries,
+                                                   std::uint64_t max_bytes) {
+  return canonicalize(fs::path(dir_), {}, max_entries, max_bytes).m;
+}
+
+EvalCacheDir::DirStats EvalCacheDir::stats() const {
+  DirStats s;
   const fs::path dir(dir_);
-  if (!ensure_dir(dir)) return false;
-  if (!atomic_write(dir / entry_filename(entry.key), serialize_eval_entry(entry)))
-    return false;
-  return append_index(dir, entry.key);
+  const IndexData idx = read_index(dir);
+  s.index_version = idx.version < 0 ? 0 : idx.version;
+  s.index_damage = idx.damage;
+  if (index_readable(idx)) {
+    s.entries = idx.meta.size();
+    s.max_generation = idx.max_generation;
+    for (const auto& [key, meta] : idx.meta) {
+      s.recorded_bytes += meta.bytes;
+      s.hits += meta.hits;
+    }
+  }
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (!ec) {
+    std::size_t present = 0;
+    for (const auto& e : it) {
+      if (!e.is_regular_file(ec) || ec) continue;
+      const std::string name = e.path().filename().string();
+      if (name == kIndexName) continue;
+      EvalCacheKey key;
+      if (!parse_entry_filename(name, key)) {
+        ++s.stale_files;
+        continue;
+      }
+      ++s.payload_files;
+      std::error_code sz;
+      const auto bytes = fs::file_size(e.path(), sz);
+      if (!sz) s.payload_bytes += bytes;
+      if (index_readable(idx) && idx.meta.count(to_pair(key)))
+        ++present;
+      else
+        ++s.orphan_payloads;
+    }
+    s.missing_payloads = s.entries - std::min(s.entries, present);
+  }
+  return s;
+}
+
+EvalCacheDir::VerifyStats EvalCacheDir::verify() const {
+  VerifyStats v;
+  const fs::path dir(dir_);
+  const IndexData idx = read_index(dir);
+  v.index_damage = idx.damage;
+  std::set<KeyPair> indexed;
+  if (index_readable(idx)) {
+    for (const auto& [key, meta] : idx.meta) {
+      indexed.insert(key);
+      const EvalCacheKey k{key.first, key.second};
+      const fs::path path = dir / entry_filename(k);
+      std::error_code ec;
+      if (!fs::exists(path, ec) || ec) {
+        ++v.missing;
+        continue;
+      }
+      std::string text;
+      EvalCacheEntry entry;
+      if (!read_payload(path, text) || !parse_eval_entry(text, entry) ||
+          !(entry.key == k))
+        ++v.corrupt;
+      else
+        ++v.valid;
+    }
+  }
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (!ec) {
+    for (const auto& e : it) {
+      if (!e.is_regular_file(ec) || ec) continue;
+      const std::string name = e.path().filename().string();
+      if (name == kIndexName) continue;
+      EvalCacheKey key;
+      if (!parse_entry_filename(name, key)) {
+        ++v.stale_files;
+        continue;
+      }
+      if (indexed.count(to_pair(key))) continue;
+      std::string text;
+      EvalCacheEntry entry;
+      if (read_payload(e.path(), text) && parse_eval_entry(text, entry) &&
+          entry.key == key)
+        ++v.orphans;
+      else
+        ++v.orphan_corrupt;
+    }
+  }
+  return v;
 }
 
 EvalCacheDir::MergeStats EvalCacheDir::merge(const std::string& dst,
                                              const std::string& src) {
-  const fs::path src_dir(src);
-  const fs::path dst_dir(dst);
-  std::size_t skipped = 0;
-  std::set<std::pair<std::uint64_t, std::uint64_t>> have;
-  for (const EvalCacheKey& key : read_index(dst_dir, skipped))
-    have.insert({key.trace_hash, key.options_hash});
-
-  // Stream one entry at a time: validate the source bytes, then copy them
-  // verbatim (entry serialization is canonical, so the file content of a
-  // valid entry is already exactly what we would write).
-  MergeStats stats;
-  bool dst_ready = false;
-  for (const EvalCacheKey& key : read_index(src_dir, skipped)) {
-    if (have.count({key.trace_hash, key.options_hash})) continue;
-    std::string text;
-    EvalCacheEntry entry;
-    if (!read_file(src_dir / entry_filename(key), text) ||
-        !parse_eval_entry(text, entry) || !(entry.key == key))
-      continue;  // source damage: a plain skip, as on load
-    if (!dst_ready) {
-      if (!ensure_dir(dst_dir)) {
-        ++stats.failed;
-        continue;
-      }
-      dst_ready = true;
-    }
-    if (atomic_write(dst_dir / entry_filename(key), text) &&
-        append_index(dst_dir, key))
-      ++stats.copied;
-    else
-      ++stats.failed;
-  }
-  return stats;
+  const CanonOut out =
+      canonicalize(fs::path(dst), {fs::path(src)}, UINT64_MAX, UINT64_MAX);
+  return {out.copied, out.failed};
 }
 
 }  // namespace addm::core

@@ -1,0 +1,233 @@
+// Randomized corruption fuzzing for the persistent evaluation cache.
+//
+// Each round builds a small cache, injects a random mix of the corruptions a
+// real deployment can produce — index truncated mid-record, payload bytes
+// flipped, payload files deleted or replaced, torn concurrent-writer files,
+// garbage index lines, stale temp files — and then asserts the robustness
+// contract: every load degrades to a miss or returns byte-exact original
+// data (never a wrong hit, never a crash), verify() never throws, and one
+// compact() pass repairs the directory to a clean, idempotent canonical
+// form.
+//
+// The seed is logged on every run and can be pinned for reproduction:
+//   ADDM_FUZZ_SEED=12345 ./cache_fuzz_test
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/eval_cache.hpp"
+#include "core/fingerprint.hpp"
+
+namespace addm::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::uint64_t fuzz_seed() {
+  if (const char* env = std::getenv("ADDM_FUZZ_SEED")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0') return v;
+  }
+  return std::random_device{}();
+}
+
+std::string fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "addm_cache_fuzz" / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir.parent_path());
+  return dir.string();
+}
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void spew(const fs::path& p, const std::string& text) {
+  std::ofstream(p, std::ios::binary | std::ios::trunc) << text;
+}
+
+/// Byte map of a cache directory (filename -> contents); the canonical-form
+/// and idempotence checks compare these.
+std::map<std::string, std::string> dir_bytes(const std::string& dir) {
+  std::map<std::string, std::string> files;
+  for (const auto& f : fs::directory_iterator(dir))
+    if (f.is_regular_file()) files[f.path().filename().string()] = slurp(f.path());
+  return files;
+}
+
+EvalCacheEntry make_entry(std::mt19937_64& rng, std::uint64_t trace_hash,
+                          std::uint64_t options_hash) {
+  EvalCacheEntry e;
+  e.key = {trace_hash, options_hash};
+  const std::size_t n = 1 + rng() % 4;
+  for (std::size_t i = 0; i < n; ++i) {
+    DesignPoint p;
+    p.architecture = "arch" + std::to_string(rng() % 8);
+    p.feasible = rng() % 4 != 0;
+    if (p.feasible) {
+      p.metrics.area_units = static_cast<double>(rng() % 100000) / 7.0;
+      p.metrics.delay_ns = static_cast<double>(rng() % 1000) / 13.0;
+      p.metrics.cells = rng() % 500;
+      p.metrics.flipflops = rng() % 100;
+    }
+    std::string note;
+    for (std::size_t c = rng() % 20; c > 0; --c)
+      note += static_cast<char>(rng() % 256);  // arbitrary bytes incl. NUL/newline
+    p.note = note;
+    e.points.push_back(std::move(p));
+  }
+  e.pareto.push_back(0);
+  return e;
+}
+
+struct Fuzzer {
+  std::mt19937_64 rng;
+
+  /// Valid entries as originally stored, by filename: the wrong-hit oracle.
+  std::map<std::string, std::string> originals;
+
+  std::string filename(const EvalCacheKey& k) {
+    return hex64(k.trace_hash) + "-" + hex64(k.options_hash) + ".entry";
+  }
+
+  void corrupt(const std::string& dir) {
+    const fs::path root(dir);
+    const int kinds = 1 + static_cast<int>(rng() % 4);
+    for (int k = 0; k < kinds; ++k) {
+      switch (rng() % 7) {
+        case 0: {  // truncate the index at a random byte (mid-record included)
+          const fs::path index = root / "index.txt";
+          std::string text = slurp(index);
+          if (!text.empty()) spew(index, text.substr(0, rng() % text.size()));
+          break;
+        }
+        case 1: {  // flip a byte in a random payload
+          std::vector<fs::path> payloads;
+          for (const auto& f : fs::directory_iterator(root))
+            if (f.path().extension() == ".entry") payloads.push_back(f.path());
+          if (payloads.empty()) break;
+          const fs::path victim = payloads[rng() % payloads.size()];
+          std::string text = slurp(victim);
+          if (text.empty()) break;
+          text[rng() % text.size()] ^= static_cast<char>(1 + rng() % 255);
+          spew(victim, text);
+          break;
+        }
+        case 2: {  // delete a random payload
+          std::vector<fs::path> payloads;
+          for (const auto& f : fs::directory_iterator(root))
+            if (f.path().extension() == ".entry") payloads.push_back(f.path());
+          if (!payloads.empty()) fs::remove(payloads[rng() % payloads.size()]);
+          break;
+        }
+        case 3: {  // garbage / partial lines appended to the index
+          std::ofstream out(root / "index.txt", std::ios::app);
+          switch (rng() % 3) {
+            case 0: out << "entry deadbeef\n"; break;
+            case 1: out << "entry " << hex64(rng()) << " " << hex64(rng()); break;
+            case 2: out << std::string(1 + rng() % 40, '\xfe') << "\n"; break;
+          }
+          break;
+        }
+        case 4: {  // torn write: a half-payload under a brand-new key
+          const EvalCacheKey key{rng(), rng()};
+          const std::string text =
+              serialize_eval_entry(make_entry(rng, key.trace_hash, key.options_hash));
+          spew(root / filename(key), text.substr(0, text.size() / 2));
+          break;
+        }
+        case 5: {  // stale temp file from a crashed writer
+          spew(root / ("index.txt.tmp." + std::to_string(rng() % 100000)),
+               "partial");
+          break;
+        }
+        case 6: {  // payload replaced wholesale with junk
+          std::vector<fs::path> payloads;
+          for (const auto& f : fs::directory_iterator(root))
+            if (f.path().extension() == ".entry") payloads.push_back(f.path());
+          if (!payloads.empty()) spew(payloads[rng() % payloads.size()], "junk\n");
+          break;
+        }
+      }
+    }
+  }
+
+  void run_round(const std::string& dir) {
+    originals.clear();
+    EvalCacheDir cache(dir);
+    const std::size_t count = 4 + rng() % 9;
+    std::vector<EvalCacheEntry> batch;
+    for (std::size_t i = 0; i < count; ++i) {
+      EvalCacheEntry e = make_entry(rng, rng(), rng() % 3);  // few option sets
+      if (originals.count(filename(e.key))) continue;
+      originals[filename(e.key)] = serialize_eval_entry(e);
+      batch.push_back(std::move(e));
+    }
+    ASSERT_EQ(cache.store_batch(batch), batch.size());
+
+    corrupt(dir);
+
+    // Contract 1: loads never throw and never return a wrong hit — every
+    // loaded entry must byte-match what was originally stored for its key.
+    EvalCacheLoadStats stats;
+    const auto loaded = cache.load_all(&stats);
+    EXPECT_LE(loaded.size(), originals.size());
+    for (const auto& e : loaded) {
+      auto it = originals.find(filename(e.key));
+      ASSERT_NE(it, originals.end()) << "hit on a never-stored key";
+      EXPECT_EQ(serialize_eval_entry(e), it->second) << "wrong hit";
+    }
+
+    // Contract 2: verify never throws; compact repairs to a clean, stable,
+    // idempotent directory that still only serves original data.
+    (void)cache.verify();
+    const auto m = cache.compact();
+    EXPECT_TRUE(m.ok);
+    const auto v = cache.verify();
+    EXPECT_TRUE(v.clean()) << "missing=" << v.missing << " corrupt=" << v.corrupt
+                           << " orphans=" << v.orphans
+                           << " orphan_corrupt=" << v.orphan_corrupt
+                           << " stale=" << v.stale_files
+                           << " damage=" << v.index_damage;
+    const auto once = dir_bytes(dir);
+    EXPECT_TRUE(cache.compact().ok);
+    EXPECT_EQ(dir_bytes(dir), once) << "compact not idempotent";
+
+    for (const auto& e : cache.load_all()) {
+      auto it = originals.find(filename(e.key));
+      ASSERT_NE(it, originals.end()) << "post-compact hit on a never-stored key";
+      EXPECT_EQ(serialize_eval_entry(e), it->second) << "post-compact wrong hit";
+    }
+  }
+};
+
+TEST(CacheFuzz, RandomCorruptionNeverCrashesOrLies) {
+  const std::uint64_t seed = fuzz_seed();
+  // Logged unconditionally so a CI failure is reproducible locally.
+  std::fprintf(stderr, "cache_fuzz seed: %llu (pin with ADDM_FUZZ_SEED)\n",
+               static_cast<unsigned long long>(seed));
+  Fuzzer fuzzer;
+  fuzzer.rng.seed(seed);
+  constexpr int kRounds = 120;
+  for (int round = 0; round < kRounds; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round) + " seed " + std::to_string(seed));
+    const std::string dir = fresh_dir("round");
+    fuzzer.run_round(dir);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+}  // namespace
+}  // namespace addm::core

@@ -1,0 +1,137 @@
+# End-to-end cache lifecycle check through the real CLIs, run as a ctest
+# entry and by the CI smoke job:
+#
+#   1. unsharded reference report + three cold shard runs with per-shard
+#      cache directories
+#   2. compact-each-then-merge vs merge-then-compact: the two cache
+#      directories must be byte-identical (the canonicalization contract)
+#   3. `addm_cache stats --json` golden check on an empty directory
+#   4. verify-checksums exit-code cycle: clean (0) -> corrupted payload (1)
+#      -> compact repairs -> clean (0)
+#   5. prune --max-entries, then a warm run against the pruned cache must
+#      reproduce the reference report byte-for-byte (misses, never wrong
+#      answers)
+#   6. an online --cache-budget run must also reproduce the reference
+#      report while keeping the directory under the byte budget
+#
+# Usage: cmake -DADDM_EXPLORE=... -DADDM_MERGE=... -DADDM_CACHE=...
+#              -DGOLDEN_DIR=... -DWORK_DIR=... -P this
+foreach(var ADDM_EXPLORE ADDM_MERGE ADDM_CACHE GOLDEN_DIR WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=...")
+  endif()
+endforeach()
+
+set(SUITE 2)  # 2 geometries x 9 patterns = 18 traces
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+macro(run_checked)
+  execute_process(COMMAND ${ARGN}
+    RESULT_VARIABLE _rc ERROR_VARIABLE _err OUTPUT_QUIET)
+  if(NOT _rc EQUAL 0)
+    message(FATAL_ERROR "command failed (rc=${_rc}): ${ARGN}\n${_err}")
+  endif()
+endmacro()
+
+macro(compare_files a b what)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${a} ${b}
+    RESULT_VARIABLE _cmp)
+  if(NOT _cmp EQUAL 0)
+    message(FATAL_ERROR "${what}: ${a} and ${b} differ")
+  endif()
+endmacro()
+
+# Byte-compares two directories: same relative file set, same bytes per file.
+macro(compare_dirs a b what)
+  file(GLOB_RECURSE _a_files RELATIVE ${a} ${a}/*)
+  file(GLOB_RECURSE _b_files RELATIVE ${b} ${b}/*)
+  list(SORT _a_files)
+  list(SORT _b_files)
+  if(NOT "${_a_files}" STREQUAL "${_b_files}")
+    message(FATAL_ERROR "${what}: file sets differ\n  ${a}: ${_a_files}\n  ${b}: ${_b_files}")
+  endif()
+  foreach(_f ${_a_files})
+    compare_files(${a}/${_f} ${b}/${_f} "${what}: ${_f}")
+  endforeach()
+endmacro()
+
+# 1. Reference report + three cold shard runs populating shard caches.
+run_checked(${ADDM_EXPLORE} --suite ${SUITE} --threads 4 --format csv
+  --out ${WORK_DIR}/full.csv --quiet)
+foreach(i RANGE 2)
+  run_checked(${ADDM_EXPLORE} --suite ${SUITE} --threads 2 --shard ${i}/3
+    --cache-dir ${WORK_DIR}/shard_${i} --format csv
+    --out ${WORK_DIR}/shard_${i}.csv --quiet)
+endforeach()
+
+# 2. compact(merge(shards)) vs merge(compact(shards)) byte-equality.
+foreach(i RANGE 2)
+  file(COPY ${WORK_DIR}/shard_${i} DESTINATION ${WORK_DIR}/compacted)
+  run_checked(${ADDM_CACHE} compact ${WORK_DIR}/compacted/shard_${i} --quiet)
+endforeach()
+run_checked(${ADDM_MERGE} --quiet --cache-into ${WORK_DIR}/merged_a
+  --cache ${WORK_DIR}/compacted/shard_0 --cache ${WORK_DIR}/compacted/shard_1
+  --cache ${WORK_DIR}/compacted/shard_2)
+run_checked(${ADDM_MERGE} --quiet --cache-into ${WORK_DIR}/merged_b
+  --cache ${WORK_DIR}/shard_0 --cache ${WORK_DIR}/shard_1
+  --cache ${WORK_DIR}/shard_2)
+run_checked(${ADDM_CACHE} compact ${WORK_DIR}/merged_b --quiet)
+compare_dirs(${WORK_DIR}/merged_a ${WORK_DIR}/merged_b
+  "merge(compact(shards)) vs compact(merge(shards))")
+
+# 3. stats --json golden on an empty (never-created) directory.
+execute_process(COMMAND ${ADDM_CACHE} stats ${WORK_DIR}/does_not_exist --json
+  RESULT_VARIABLE rc OUTPUT_FILE ${WORK_DIR}/stats_empty.json ERROR_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "addm_cache stats --json failed (rc=${rc})")
+endif()
+compare_files(${WORK_DIR}/stats_empty.json ${GOLDEN_DIR}/cache_stats_empty.json
+  "empty-directory stats JSON")
+
+# 4. verify-checksums: clean -> corrupt -> repair -> clean.
+run_checked(${ADDM_CACHE} verify-checksums ${WORK_DIR}/merged_a --quiet)
+file(GLOB _entries ${WORK_DIR}/merged_a/*.entry)
+list(SORT _entries)
+list(GET _entries 0 _victim)
+# Overwrite wholesale (entry text contains characters cmake string handling
+# would mangle, so no read-modify-write here).
+file(WRITE ${_victim} "junk\n")
+execute_process(COMMAND ${ADDM_CACHE} verify-checksums ${WORK_DIR}/merged_a --quiet
+  RESULT_VARIABLE rc ERROR_QUIET)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "verify-checksums missed a corrupted payload (rc=${rc})")
+endif()
+run_checked(${ADDM_CACHE} compact ${WORK_DIR}/merged_a --quiet)
+run_checked(${ADDM_CACHE} verify-checksums ${WORK_DIR}/merged_a --quiet)
+
+# 5. prune --max-entries, then a warm run must reproduce the reference
+# report byte-for-byte (the corrupt-then-compacted key re-evaluates too).
+run_checked(${ADDM_CACHE} prune ${WORK_DIR}/merged_a --max-entries 7 --quiet)
+execute_process(COMMAND ${ADDM_CACHE} stats ${WORK_DIR}/merged_a --json
+  RESULT_VARIABLE rc OUTPUT_VARIABLE stats_out ERROR_QUIET)
+if(NOT rc EQUAL 0 OR NOT stats_out MATCHES "\"entries\": 7,")
+  message(FATAL_ERROR "prune --max-entries 7 did not leave 7 entries:\n${stats_out}")
+endif()
+run_checked(${ADDM_EXPLORE} --suite ${SUITE} --threads 4 --format csv
+  --cache-dir ${WORK_DIR}/merged_a --out ${WORK_DIR}/warm.csv --quiet)
+compare_files(${WORK_DIR}/warm.csv ${WORK_DIR}/full.csv
+  "pruned-then-warm-started report")
+
+# 6. Online byte budget: report still byte-identical, directory bounded.
+run_checked(${ADDM_EXPLORE} --suite ${SUITE} --threads 4 --format csv
+  --cache-dir ${WORK_DIR}/budgeted --cache-budget 16k
+  --out ${WORK_DIR}/budget.csv --quiet)
+compare_files(${WORK_DIR}/budget.csv ${WORK_DIR}/full.csv "budgeted-run report")
+execute_process(COMMAND ${ADDM_CACHE} stats ${WORK_DIR}/budgeted --json
+  RESULT_VARIABLE rc OUTPUT_VARIABLE stats_out ERROR_QUIET)
+if(NOT rc EQUAL 0 OR NOT stats_out MATCHES "\"payload_bytes\": ([0-9]+)")
+  message(FATAL_ERROR "cannot read budgeted-cache stats:\n${stats_out}")
+endif()
+if(CMAKE_MATCH_1 GREATER 16384)
+  message(FATAL_ERROR "--cache-budget 16k left ${CMAKE_MATCH_1} payload bytes")
+endif()
+
+message(STATUS "cache maintenance OK: compact/merge commute, stats golden, "
+  "verify/repair cycle, pruned and budgeted runs reproduce the reference report")

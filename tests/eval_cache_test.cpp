@@ -200,6 +200,51 @@ TEST(EvalCacheDirTest, TruncatedAndCorruptEntryFilesAreSkipped) {
   EXPECT_EQ(stats.skipped, 1u);
 }
 
+TEST(EvalCacheDirTest, VanishedOrNonFilePayloadDegradesToMiss) {
+  // Regression: the hit path must stat before reading.  A payload file that
+  // vanished — or worse, was replaced by a directory — used to surface a
+  // stream read error; it must be an ordinary miss on every load API.
+  const std::string dir = fresh_dir("vanished_payload");
+  EvalCacheDir cache(dir);
+  const EvalCacheEntry keep = sample_entry(0xaaa, 0x100);
+  const EvalCacheEntry gone = sample_entry(0xbbb, 0x100);
+  ASSERT_TRUE(cache.store(keep));
+  ASSERT_TRUE(cache.store(gone));
+
+  const fs::path victim = fs::path(dir) / "0000000000000bbb-0000000000000100.entry";
+  ASSERT_TRUE(fs::remove(victim));
+  fs::create_directories(victim);  // now a directory under the payload name
+
+  EvalCacheEntry out;
+  EXPECT_FALSE(cache.load_entry(gone.key, out));
+  EXPECT_TRUE(cache.load_entry(keep.key, out));
+
+  EvalCacheLoadStats stats;
+  const auto all = cache.load_all(&stats);
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_TRUE(entries_equal(all[0], keep));
+  EXPECT_EQ(stats.skipped, 1u);
+
+  // The batch layer sees the same miss and recovers by re-evaluating.
+  const std::string batch_dir = fresh_dir("vanished_batch");
+  const auto traces = seq::standard_suite({8, 8});
+  BatchOptions opt;
+  opt.threads = 2;
+  opt.cache_dir = batch_dir;
+  const BatchResult cold = BatchExplorer(opt).run(traces);
+  bool replaced_one = false;
+  for (const auto& f : fs::directory_iterator(batch_dir)) {
+    if (f.path().extension() != ".entry" || replaced_one) continue;
+    fs::remove(f.path());
+    fs::create_directories(f.path());
+    replaced_one = true;
+  }
+  ASSERT_TRUE(replaced_one);
+  const BatchResult redone = BatchExplorer(opt).run(traces);
+  EXPECT_EQ(redone.evaluations, 1u);
+  EXPECT_EQ(batch_report_csv(redone), batch_report_csv(cold));
+}
+
 TEST(EvalCacheDirTest, StaleIndexVersionReadsAsEmpty) {
   const std::string dir = fresh_dir("stale_version");
   EvalCacheDir cache(dir);
@@ -213,7 +258,7 @@ TEST(EvalCacheDirTest, StaleIndexVersionReadsAsEmpty) {
     os << in.rdbuf();
     index = os.str();
   }
-  index.replace(index.find("addm-eval-cache 1"), 17, "addm-eval-cache 9");
+  index.replace(index.find("addm-eval-cache 2"), 17, "addm-eval-cache 9");
   { std::ofstream(fs::path(dir) / "index.txt", std::ios::trunc) << index; }
 
   EvalCacheLoadStats stats;

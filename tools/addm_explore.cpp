@@ -35,6 +35,7 @@
 
 namespace {
 
+using addm::tools::parse_bytes;
 using addm::tools::parse_geometry;
 using addm::tools::parse_shard;
 using addm::tools::parse_size;
@@ -57,6 +58,9 @@ void usage(const char* argv0) {
       << "  --archs a,b,...      only these candidate architectures (registry names)\n"
       << "  --no-cache           disable (trace, options) memoization\n"
       << "  --cache-dir DIR      persistent evaluation cache shared across runs\n"
+      << "  --cache-budget B     prune the cache directory to at most B payload\n"
+      << "                       bytes after each flush (suffix k/m/g; requires\n"
+      << "                       --cache-dir; never affects the report)\n"
       << "  --shard I/N          explore only shard I (0-based) of N\n"
       << "  --no-fsm             skip symbolic-FSM candidates\n"
       << "  --max-fsm-states N   FSM feasibility cap (default 1024)\n"
@@ -161,6 +165,13 @@ int main(int argc, char** argv) {
       opt.memoize = false;
     } else if (arg == "--cache-dir") {
       opt.cache_dir = need_value();
+    } else if (arg == "--cache-budget") {
+      if (!parse_bytes(need_value(), opt.cache_budget_bytes) ||
+          opt.cache_budget_bytes == 0) {
+        std::cerr << argv[0]
+                  << ": --cache-budget expects a positive byte size (suffix k/m/g)\n";
+        return 2;
+      }
     } else if (arg == "--shard") {
       if (!parse_shard(need_value(), shard)) {
         std::cerr << argv[0] << ": --shard expects I/N with 0 <= I < N <= "
@@ -226,6 +237,10 @@ int main(int argc, char** argv) {
 
   if (!opt.memoize && !opt.cache_dir.empty()) {
     std::cerr << argv[0] << ": --no-cache and --cache-dir are mutually exclusive\n";
+    return 2;
+  }
+  if (opt.cache_budget_bytes != 0 && opt.cache_dir.empty()) {
+    std::cerr << argv[0] << ": --cache-budget requires --cache-dir\n";
     return 2;
   }
 
@@ -321,10 +336,15 @@ int main(int argc, char** argv) {
                  opt.threads ? opt.threads
                              : static_cast<std::size_t>(
                                    std::max(1u, std::thread::hardware_concurrency())));
-    if (!opt.cache_dir.empty())
+    if (!opt.cache_dir.empty()) {
       std::fprintf(stderr, "cache %s: %zu entries loaded, %zu stored\n",
                    opt.cache_dir.c_str(), result.disk_entries_loaded,
                    result.disk_entries_stored);
+      if (opt.cache_budget_bytes != 0)
+        std::fprintf(stderr, "cache budget %llu bytes: %zu entries evicted\n",
+                     static_cast<unsigned long long>(opt.cache_budget_bytes),
+                     result.disk_entries_evicted);
+    }
   }
   return errors == 0 ? 0 : 3;
 }

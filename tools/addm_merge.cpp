@@ -5,9 +5,11 @@
 //    first), emits one report byte-identical to what the unsharded
 //    addm_explore run would have produced.  Works for both report formats;
 //    the inputs must all be the same format as --format.
-//  * Cache merge: --cache-into DST --cache SRC (repeatable) copies every
-//    valid evaluation-cache entry missing from DST into DST, so per-shard
-//    cache directories collapse into one warm cache.
+//  * Cache merge: --cache-into DST --cache SRC (repeatable) folds every
+//    valid evaluation-cache entry of the sources into DST and canonicalizes
+//    the result (the same rewrite addm_cache compact performs), so per-shard
+//    cache directories collapse into one warm, already-compacted cache and
+//    merge order cannot influence the output bytes.
 //
 // The byte-identical guarantee holds because addm_explore shards the input
 // list into contiguous blocks, report rows carry no shard- or

@@ -3,6 +3,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -42,6 +43,30 @@ inline bool parse_geometry(const char* s, seq::ArrayGeometry& g) {
 /// Upper bound on --threads: far above any real machine, low enough that a
 /// typo cannot ask the thread pool for billions of workers.
 inline constexpr std::size_t kMaxThreads = 1024;
+
+/// Byte size: digits with an optional binary-suffix k/m/g (case-insensitive),
+/// e.g. "16384", "16k", "2M".  Returns false on overflow, a bare suffix, or
+/// any other malformed input.
+inline bool parse_bytes(const char* s, std::uint64_t& out) {
+  if (!s || !std::isdigit(static_cast<unsigned char>(*s))) return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno != 0 || end == s) return false;
+  std::uint64_t scale = 1;
+  if (*end != '\0') {
+    switch (std::tolower(static_cast<unsigned char>(*end))) {
+      case 'k': scale = 1ull << 10; break;
+      case 'm': scale = 1ull << 20; break;
+      case 'g': scale = 1ull << 30; break;
+      default: return false;
+    }
+    if (end[1] != '\0') return false;
+  }
+  if (v > UINT64_MAX / scale) return false;
+  out = static_cast<std::uint64_t>(v) * scale;
+  return true;
+}
 
 /// Slurps a file in binary mode.  Returns false when the file cannot be
 /// opened or the read fails partway.
