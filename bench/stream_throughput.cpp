@@ -1,0 +1,193 @@
+// Streaming-ingestion throughput: end-to-end cost of "trace file on disk ->
+// gate-verified exploration report" through the materializing pipeline
+// (read_trace_file + explore the full trace) versus the streaming one
+// (read_trace_compressed_file folds the file into prefix + k x period +
+// suffix in one pass, then candidates are evaluated on a single period —
+// the ExploreOptions::compress_periodic path).
+//
+// Exploration and gate-level verification both scale with what they are
+// fed, so on a million-access periodic trace the compressed path wins by
+// the compression ratio on the O(n) stages; on non-power-of-two periods
+// the index->address transform minimization is super-linear in the
+// sequence length and the gap widens by another order of magnitude.
+//
+// Emits BENCH_stream.json into the working directory: one record per
+// (trace, path) with seconds, access counts, and the stored footprint,
+// plus the end-to-end speedup per trace.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/explorer.hpp"
+#include "seq/periodicity.hpp"
+#include "seq/stream_io.hpp"
+#include "seq/trace_io.hpp"
+
+namespace {
+
+using namespace addm;
+
+struct Run {
+  std::string trace;
+  std::string path;  // "materialize" | "stream+compress"
+  std::size_t accesses = 0;
+  std::size_t stored = 0;  // addresses held after ingestion
+  double seconds = 0.0;
+  std::size_t points = 0;
+};
+
+/// One raster pass over `g`, repeated until the trace holds `repeats`
+/// passes — the canonical "same loop nest every frame" workload.
+seq::AddressTrace periodic_raster(seq::ArrayGeometry g, std::size_t repeats,
+                                  const std::string& name) {
+  std::vector<std::uint32_t> a;
+  a.reserve(g.size() * repeats);
+  for (std::size_t r = 0; r < repeats; ++r)
+    for (std::size_t i = 0; i < g.size(); ++i)
+      a.push_back(static_cast<std::uint32_t>(i));
+  return seq::AddressTrace(g, std::move(a), name);
+}
+
+core::ExploreOptions bench_options() {
+  core::ExploreOptions opt;
+  opt.verify_front = true;  // gate-level replay is part of the end-to-end cost
+  return opt;
+}
+
+/// Materializing pipeline: parse the whole file into memory, explore the
+/// full-length trace.
+Run run_materialize(const std::string& file, const std::string& label) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const seq::AddressTrace trace = seq::read_trace_file(file);
+  const auto points = core::explore_generators(trace, bench_options());
+  const auto t1 = std::chrono::steady_clock::now();
+  return {label, "materialize", trace.length(), trace.length(),
+          std::chrono::duration<double>(t1 - t0).count(), points.size()};
+}
+
+/// Streaming pipeline: single-pass chunked read folding into the
+/// periodicity compressor (peak footprint is one period), then candidate
+/// evaluation on a single period — what ExploreOptions::compress_periodic
+/// does when handed the trace, minus ever holding the expansion.
+Run run_stream_compress(const std::string& file, const std::string& label) {
+  const auto t0 = std::chrono::steady_clock::now();
+  seq::CompressedTrace ct = seq::read_trace_compressed_file(file);
+  const std::size_t length = ct.length();
+  const std::size_t stored = ct.stored();
+  std::vector<core::DesignPoint> points;
+  if (ct.pure() && ct.compressed()) {
+    const seq::AddressTrace one_period(ct.geometry, std::move(ct.period), ct.name);
+    points = core::explore_generators(one_period, bench_options());
+  } else {
+    points = core::explore_generators(ct.expand(), bench_options());
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return {label, "stream+compress", length, stored,
+          std::chrono::duration<double>(t1 - t0).count(), points.size()};
+}
+
+void print_table_and_json() {
+  bench::print_header(
+      "streaming ingestion + periodicity compression: file -> verified\n"
+      "report, materializing vs single-pass compressed exploration");
+
+  struct Workload {
+    std::string label;
+    seq::ArrayGeometry geometry;
+    std::size_t repeats;
+  };
+  // raster-32x32-1m: the headline million-access trace (1024 x 1000).
+  // raster-24x24-66k: non-power-of-two period, where the materializing
+  // path's transform minimization turns super-linear.
+  const std::vector<Workload> workloads = {
+      {"raster-32x32-1m", {32, 32}, 1000},
+      {"raster-24x24-66k", {24, 24}, 114},
+  };
+
+  std::printf("%-18s %10s %10s %14s %18s %9s\n", "trace", "accesses", "stored",
+              "materialize(s)", "stream+compress(s)", "speedup");
+
+  std::vector<Run> runs;
+  std::vector<std::pair<std::string, double>> speedups;
+  for (const auto& w : workloads) {
+    const std::string file = w.label + ".trace";
+    seq::write_trace_file(file, periodic_raster(w.geometry, w.repeats, w.label));
+    const Run full = run_materialize(file, w.label);
+    const Run comp = run_stream_compress(file, w.label);
+    std::remove(file.c_str());
+    const double speedup = comp.seconds > 0 ? full.seconds / comp.seconds : 0.0;
+    std::printf("%-18s %10zu %10zu %14.3f %18.3f %8.1fx\n", w.label.c_str(),
+                full.accesses, comp.stored, full.seconds, comp.seconds, speedup);
+    runs.push_back(full);
+    runs.push_back(comp);
+    speedups.emplace_back(w.label, speedup);
+  }
+  std::printf("\n");
+
+  // Deterministic-schema trajectory record (values are machine-dependent
+  // timings; the schema and row order are stable).
+  std::FILE* f = std::fopen("BENCH_stream.json", "w");
+  if (!f) return;
+  std::fprintf(f, "{\n  \"bench\": \"stream_throughput\",\n  \"runs\": [\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const Run& r = runs[i];
+    std::fprintf(f,
+                 "    {\"trace\": \"%s\", \"path\": \"%s\", \"accesses\": %zu, "
+                 "\"stored\": %zu, \"seconds\": %.6f, \"points\": %zu}%s\n",
+                 r.trace.c_str(), r.path.c_str(), r.accesses, r.stored, r.seconds,
+                 r.points, i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"speedups\": [\n");
+  for (std::size_t i = 0; i < speedups.size(); ++i)
+    std::fprintf(f, "    {\"trace\": \"%s\", \"end_to_end\": %.1f}%s\n",
+                 speedups[i].first.c_str(), speedups[i].second,
+                 i + 1 < speedups.size() ? "," : "");
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_stream.json (%zu runs)\n\n", runs.size());
+}
+
+/// Shared fixture file for the registered benchmarks: one raster pass of
+/// 32x32, repeated `repeats` times.
+std::string bench_trace_file(std::size_t repeats) {
+  const std::string file = "stream_bench_" + std::to_string(repeats) + ".trace";
+  std::ifstream probe(file);
+  if (!probe.good())
+    seq::write_trace_file(file, periodic_raster({32, 32}, repeats, "loop"));
+  return file;
+}
+
+void BM_MaterializingEndToEnd(benchmark::State& state) {
+  const auto repeats = static_cast<std::size_t>(state.range(0));
+  const std::string file = bench_trace_file(repeats);
+  for (auto _ : state) benchmark::DoNotOptimize(run_materialize(file, "loop"));
+  state.SetComplexityN(static_cast<std::int64_t>(repeats * 1024));
+}
+BENCHMARK(BM_MaterializingEndToEnd)->RangeMultiplier(2)->Range(64, 256)->Complexity();
+
+void BM_StreamingCompressedEndToEnd(benchmark::State& state) {
+  const auto repeats = static_cast<std::size_t>(state.range(0));
+  const std::string file = bench_trace_file(repeats);
+  for (auto _ : state) benchmark::DoNotOptimize(run_stream_compress(file, "loop"));
+  state.SetComplexityN(static_cast<std::int64_t>(repeats * 1024));
+}
+BENCHMARK(BM_StreamingCompressedEndToEnd)
+    ->RangeMultiplier(2)
+    ->Range(64, 256)
+    ->Complexity();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table_and_json();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  for (std::size_t repeats : {64u, 128u, 256u})
+    std::remove(("stream_bench_" + std::to_string(repeats) + ".trace").c_str());
+  return 0;
+}

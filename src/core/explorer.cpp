@@ -11,6 +11,7 @@
 #include "core/srag_mapper.hpp"
 #include "core/thread_pool.hpp"
 #include "core/verify.hpp"
+#include "seq/periodicity.hpp"
 #include "synth/fsm.hpp"
 
 namespace addm::core {
@@ -250,6 +251,31 @@ std::vector<std::string> generator_names() {
 
 std::vector<DesignPoint> explore_generators(const seq::AddressTrace& trace,
                                             const ExploreOptions& opt) {
+  // Periodicity compression: when the trace is exactly k >= 2 whole passes
+  // of one period (no warm-up prefix, no partial tail — the only shape a
+  // cyclic generator reproduces exactly), evaluate every candidate on a
+  // single period and annotate the notes with the factorization.  The
+  // factorization is itself deterministic, so the result stays a pure
+  // function of (trace, opt).  Anything else — including every built-in
+  // synthetic suite trace, which are all aperiodic — falls through to the
+  // unchanged full-trace path.
+  if (opt.compress_periodic) {
+    seq::CompressedTrace ct = seq::compress_periodic(trace);
+    if (ct.pure() && ct.compressed()) {
+      const std::size_t period_len = ct.period.size();
+      seq::AddressTrace one_period(trace.geometry(), std::move(ct.period),
+                                   trace.name());
+      ExploreOptions inner = opt;
+      inner.compress_periodic = false;
+      std::vector<DesignPoint> points = explore_generators(one_period, inner);
+      const std::string tag = "[periodic " + std::to_string(ct.repeats) + "x" +
+                              std::to_string(period_len) + "]";
+      for (DesignPoint& p : points)
+        p.note = p.note.empty() ? tag : p.note + " " + tag;
+      return points;
+    }
+  }
+
   // Select in registry order; the selection depends only on (trace, opt),
   // never on scheduling, so the slot layout of `points` is fixed up front.
   std::vector<const GeneratorEntry*> selected;

@@ -84,6 +84,17 @@ struct ExploreOptions {
   /// when non-default, keeping default-options fingerprints pinned (the
   /// verify_front pattern).
   logic::MinimizeOptions minimize;
+  /// Exact periodicity compression (seq/periodicity.hpp): when the trace is
+  /// whole passes of one period (prefix-free, k >= 2 repeats, no partial
+  /// tail), candidates are evaluated on a single period and every note is
+  /// annotated "[periodic <k>x<p>]" — exploration cost scales with the
+  /// period instead of the trace length.  Traces without such structure
+  /// (all the built-in synthetic suites) are explored unchanged, byte for
+  /// byte.  Output-affecting (FSM feasibility, metrics, and notes follow
+  /// the period trace), so it is fingerprinted — but only when enabled,
+  /// keeping default-options fingerprints pinned (the verify_front
+  /// pattern).
+  bool compress_periodic = false;
 };
 
 /// A candidate's netlist re-elaborated for gate-level verification, plus the

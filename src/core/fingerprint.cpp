@@ -56,6 +56,10 @@ std::uint64_t options_fingerprint(const ExploreOptions& opt) {
     if (opt.minimize.algo == logic::MinimizerAlgo::Auto)
       h.u64(static_cast<std::uint64_t>(opt.minimize.heuristic_min_vars));
   }
+  // Periodicity compression evaluates candidates on one period and
+  // annotates notes, so it is output-affecting — hashed only when enabled
+  // (verify_front pattern) to keep default-options fingerprints pinned.
+  if (opt.compress_periodic) h.str("compress_periodic");
   for (int t = 0; t < static_cast<int>(netlist::kNumCellTypes); ++t) {
     const tech::CellParams& p = opt.library.params(static_cast<netlist::CellType>(t));
     h.f64(p.area);

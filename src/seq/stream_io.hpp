@@ -1,0 +1,161 @@
+// Streaming trace ingestion.
+//
+// seq/trace_io.hpp materializes a whole trace per call, which is fine for
+// the synthetic suites but not for million-access recorded logs.  This
+// module reads the same text format incrementally:
+//
+//  * TraceReader — pull one address at a time from a chunked, single-pass
+//    tokenizer (no per-line istringstream, no whole-file buffer; memory is
+//    one I/O chunk plus the longest line).  Grammar and error messages are
+//    identical to read_trace — both are built on the same line parser and a
+//    randomized differential test holds them equal.
+//  * read_trace_compressed — TraceReader feeding a
+//    seq::StreamingCompressor, so a periodic million-access file is read in
+//    O(period) memory and returned already factored.
+//  * import_lackey — converts valgrind/lackey-style recorded memory logs
+//    ("I/L/S/M hexaddr,size" lines) into address traces over a declared
+//    array geometry, the entry point for real recorded workloads
+//    (tools/addm_trace_import wraps it).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "seq/periodicity.hpp"
+#include "seq/trace.hpp"
+
+namespace addm::seq {
+
+namespace detail {
+
+/// Splits an istream into '\n'-terminated lines, reading in fixed-size
+/// chunks.  Lines that fit inside one chunk are returned as views into the
+/// chunk buffer (zero copy); only chunk-spanning lines are assembled in a
+/// carry buffer.  Matches std::getline line semantics exactly: '\r' stays
+/// in the line, a final unterminated line is returned, a trailing '\n'
+/// does not produce an empty last line.
+class LineSplitter {
+ public:
+  explicit LineSplitter(std::istream& in, std::size_t chunk_bytes);
+
+  /// Fetches the next line into line(); false at end of input.
+  bool fetch();
+  std::string_view line() const { return line_; }
+
+ private:
+  bool refill();
+
+  std::istream& in_;
+  std::size_t chunk_;
+  std::string buf_;
+  std::size_t pos_ = 0;
+  std::string pending_;
+  std::string_view line_;
+  bool eof_ = false;
+};
+
+/// The trace-format line grammar, shared verbatim by read_trace and
+/// TraceReader so the two readers cannot drift apart.  Stateful: remembers
+/// the geometry/name directives seen so far.
+class TraceLineParser {
+ public:
+  /// Parses one line (no trailing '\n'), appending any addresses to `out`.
+  /// Throws std::invalid_argument with the historical line-numbered
+  /// messages on malformed input.
+  void line(std::string_view text, std::size_t line_no,
+            std::vector<std::uint32_t>& out);
+
+  /// End-of-input validation (missing geometry / no addresses), given
+  /// whether any address was produced.
+  void finish(bool any_addresses) const;
+
+  bool have_geometry() const { return have_geometry_; }
+  const ArrayGeometry& geometry() const { return geom_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  ArrayGeometry geom_{};
+  bool have_geometry_ = false;
+  bool have_name_ = false;
+  std::string name_;
+};
+
+}  // namespace detail
+
+/// Incremental reader for the trace text format (see seq/trace_io.hpp).
+///
+/// Pull addresses with next(); geometry() is valid as soon as next() has
+/// returned true (addresses cannot precede the directive), name() and the
+/// end-of-input validation are final once next() has returned false.
+/// next() throws std::invalid_argument on malformed input — including, on
+/// exhaustion, the "missing geometry" / "no addresses" checks read_trace
+/// performs — with messages identical to read_trace.
+class TraceReader {
+ public:
+  static constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
+
+  /// `chunk_bytes` tunes I/O granularity (tests shrink it to exercise
+  /// chunk-boundary handling); values below 1 are clamped to 1.
+  explicit TraceReader(std::istream& in,
+                       std::size_t chunk_bytes = kDefaultChunkBytes);
+
+  /// Stores the next address and returns true, or returns false at a valid
+  /// end of input.
+  bool next(std::uint32_t& addr);
+
+  const ArrayGeometry& geometry() const { return parser_.geometry(); }
+  const std::string& name() const { return parser_.name(); }
+  /// Addresses returned by next() so far.
+  std::size_t delivered() const { return delivered_; }
+
+  /// Drains the remaining stream into a materialized trace — the streaming
+  /// equivalent of read_trace (differential-tested identical).
+  AddressTrace read_all();
+
+ private:
+  detail::LineSplitter lines_;
+  detail::TraceLineParser parser_;
+  std::vector<std::uint32_t> queue_;
+  std::size_t queue_pos_ = 0;
+  std::size_t line_no_ = 0;
+  std::size_t delivered_ = 0;
+};
+
+/// Reads a trace file/stream through TraceReader + StreamingCompressor:
+/// peak memory is one chunk + one line + the compressor state (O(period)
+/// on periodic input) instead of the full trace.  The factorization is
+/// exactly compress_periodic(read_trace(...)) without ever materializing
+/// the trace.  File errors match read_trace_file.
+CompressedTrace read_trace_compressed(
+    std::istream& in, std::size_t chunk_bytes = TraceReader::kDefaultChunkBytes);
+CompressedTrace read_trace_compressed_file(const std::string& path);
+
+/// Import options for valgrind/lackey-style memory logs.
+struct LackeyImportOptions {
+  ArrayGeometry geometry;      ///< required: target array shape
+  std::string kinds = "LSM";   ///< which markers to keep (subset of "ILSM")
+  bool auto_base = true;       ///< base = first selected access's address
+  std::uint64_t base = 0;      ///< explicit base when !auto_base
+  std::uint32_t word_bytes = 4;  ///< bytes per array word
+  std::string name;            ///< trace name for the result
+};
+
+/// Parses a lackey-style log: lines of the form
+///
+///   I  0023c10,3        (instruction fetch)
+///    L 04025cb0,8       (load)     S .. (store)     M .. (modify)
+///
+/// with hex addresses ("0x" prefix optional).  Blank lines and `==pid==`
+/// chatter are skipped; anything else malformed throws std::invalid_argument
+/// with a line-numbered "lackey import error".  Selected accesses map to
+/// linear = (addr - base) / word_bytes, which must land inside
+/// opt.geometry; sub-word accesses fold onto their containing word.
+/// Throws if no access matches opt.kinds.
+AddressTrace import_lackey(std::istream& in, const LackeyImportOptions& opt);
+AddressTrace import_lackey_file(const std::string& path,
+                                const LackeyImportOptions& opt);
+
+}  // namespace addm::seq

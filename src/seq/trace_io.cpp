@@ -1,76 +1,24 @@
 #include "seq/trace_io.hpp"
 
-#include <cctype>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
+#include "seq/stream_io.hpp"
+
 namespace addm::seq {
 
-namespace {
-[[noreturn]] void fail(std::size_t line, const std::string& what) {
-  throw std::invalid_argument("trace parse error at line " + std::to_string(line) + ": " +
-                              what);
-}
-}  // namespace
-
 AddressTrace read_trace(std::istream& in) {
-  ArrayGeometry geom{};
-  bool have_geometry = false;
-  std::string trace_name;
+  // One pass over each line through the grammar shared with TraceReader
+  // (seq/stream_io.hpp) — the historical implementation tokenized every
+  // line twice through two istringstreams.
+  detail::TraceLineParser parser;
   std::vector<std::uint32_t> addrs;
-
   std::string line;
   std::size_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    const auto hash = line.find('#');
-    if (hash != std::string::npos) line.erase(hash);
-    std::istringstream ls(line);
-    std::string first;
-    if (!(ls >> first)) continue;  // blank / comment-only line
-
-    if (first == "geometry") {
-      if (have_geometry) fail(line_no, "duplicate geometry");
-      if (!(ls >> geom.width >> geom.height) || geom.width == 0 || geom.height == 0)
-        fail(line_no, "expected 'geometry <width> <height>' with positive sizes");
-      have_geometry = true;
-      std::string extra;
-      if (ls >> extra) fail(line_no, "trailing token '" + extra + "'");
-      continue;
-    }
-    if (first == "name") {
-      if (!(ls >> trace_name)) fail(line_no, "expected 'name <identifier>'");
-      continue;
-    }
-
-    // Otherwise the whole line is addresses (first is the first of them).
-    if (!have_geometry) fail(line_no, "addresses before the geometry directive");
-    std::istringstream as(line);
-    std::string tok;
-    while (as >> tok) {
-      // std::stoul accepts a sign and wraps negatives into huge unsigned
-      // values, which would surface as a misleading "outside the array"
-      // error for "-1"; an address token must be bare digits.
-      if (!std::isdigit(static_cast<unsigned char>(tok[0])))
-        fail(line_no, "not an address: '" + tok + "'");
-      std::size_t used = 0;
-      unsigned long v = 0;
-      try {
-        v = std::stoul(tok, &used, 10);
-      } catch (const std::exception&) {
-        fail(line_no, "not an address: '" + tok + "'");
-      }
-      if (used != tok.size()) fail(line_no, "not an address: '" + tok + "'");
-      if (v >= geom.size())
-        fail(line_no, "address " + tok + " outside the " + std::to_string(geom.width) +
-                          "x" + std::to_string(geom.height) + " array");
-      addrs.push_back(static_cast<std::uint32_t>(v));
-    }
-  }
-  if (!have_geometry) throw std::invalid_argument("trace parse error: missing geometry");
-  if (addrs.empty()) throw std::invalid_argument("trace parse error: no addresses");
-  return AddressTrace(geom, std::move(addrs), std::move(trace_name));
+  while (std::getline(in, line)) parser.line(line, ++line_no, addrs);
+  parser.finish(!addrs.empty());
+  return AddressTrace(parser.geometry(), std::move(addrs), parser.name());
 }
 
 AddressTrace read_trace_string(const std::string& text) {

@@ -7,8 +7,10 @@
 //   name <identifier>          (optional)
 //   <addr> <addr> ...          (any number of lines of linear addresses)
 //
+// Each directive may appear at most once and takes exactly its operands.
 // Used by the sradgen tool and for exchanging traces with external
-// profilers/simulators.
+// profilers/simulators. For incremental / constant-memory reading of the
+// same format see seq/stream_io.hpp.
 #pragma once
 
 #include <iosfwd>

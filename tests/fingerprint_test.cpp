@@ -128,6 +128,21 @@ TEST(Fingerprint, MinimizerHashedOnlyWhenNonDefault) {
   EXPECT_NE(options_fingerprint(auto_a), options_fingerprint(auto_b));
 }
 
+TEST(Fingerprint, CompressPeriodicHashedOnlyWhenEnabled) {
+  // Same pattern as verify_front: periodic traces explore differently under
+  // compression (period-trace metrics, annotated notes), so the flag needs
+  // its own cache keys — but the default hashes nothing, keeping existing
+  // cache directories warm.
+  const ExploreOptions base;
+  ExploreOptions on = base;
+  on.compress_periodic = true;
+  EXPECT_NE(options_fingerprint(on), options_fingerprint(base));
+
+  ExploreOptions on_verify = on;
+  on_verify.verify_front = true;
+  EXPECT_NE(options_fingerprint(on_verify), options_fingerprint(on));
+}
+
 TEST(Fingerprint, OptionsHashSeesEveryExplorationField) {
   const ExploreOptions base;
   const std::uint64_t h0 = options_fingerprint(base);

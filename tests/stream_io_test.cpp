@@ -1,0 +1,251 @@
+// Tests for the streaming trace reader (chunk-boundary handling, error
+// parity with read_trace), the compressed-read convenience, and the
+// valgrind/lackey log importer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "seq/stream_io.hpp"
+#include "seq/trace_io.hpp"
+#include "seq/workloads.hpp"
+
+namespace addm::seq {
+namespace {
+
+AddressTrace stream_read(const std::string& text, std::size_t chunk) {
+  std::istringstream in(text);
+  TraceReader reader(in, chunk);
+  return reader.read_all();
+}
+
+TEST(TraceReader, ReadsIncrementally) {
+  std::istringstream in("geometry 4 4\nname inc\n0 1 2\n3 4\n");
+  TraceReader reader(in);
+  std::uint32_t a = 0;
+  std::vector<std::uint32_t> got;
+  while (reader.next(a)) got.push_back(a);
+  EXPECT_EQ(got, (std::vector<std::uint32_t>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(reader.geometry(), (ArrayGeometry{4, 4}));
+  EXPECT_EQ(reader.name(), "inc");
+  EXPECT_EQ(reader.delivered(), 5u);
+  EXPECT_FALSE(reader.next(a));  // stays exhausted
+}
+
+TEST(TraceReader, GeometryKnownAfterFirstAddress) {
+  std::istringstream in("geometry 8 2\n7\n");
+  TraceReader reader(in);
+  std::uint32_t a = 0;
+  ASSERT_TRUE(reader.next(a));
+  EXPECT_EQ(a, 7u);
+  EXPECT_EQ(reader.geometry(), (ArrayGeometry{8, 2}));
+}
+
+TEST(TraceReader, EveryChunkSizeProducesTheSameTrace) {
+  // Exercise every line-vs-chunk alignment, including chunks smaller than a
+  // token and a final line without a newline.
+  const std::string text =
+      "# comment line\n"
+      "geometry 16 4   # inline\n"
+      "\n"
+      "name chunky\n"
+      "0 1 2 3 10 11 12 13\n"
+      "60 61 62 63";
+  const auto expected = read_trace_string(text);
+  for (std::size_t chunk : {1u, 2u, 3u, 5u, 7u, 16u, 64u, 4096u}) {
+    const auto got = stream_read(text, chunk);
+    EXPECT_EQ(got.linear(), expected.linear()) << "chunk " << chunk;
+    EXPECT_EQ(got.geometry(), expected.geometry()) << "chunk " << chunk;
+    EXPECT_EQ(got.name(), expected.name()) << "chunk " << chunk;
+  }
+}
+
+TEST(TraceReader, ErrorsMatchReadTrace) {
+  const std::vector<std::string> bad = {
+      "0 1 2\n",                          // addresses before geometry
+      "geometry 2 2\ngeometry 2 2\n0\n",  // duplicate geometry
+      "geometry 0 4\n0\n",                // zero dimension
+      "geometry 4\n0\n",                  // missing height
+      "geometry 4 4 9\n0\n",              // trailing token
+      "geometry 2 2\n0 4\n",              // out of range
+      "geometry 2 2\n0 -1\n",             // signed token
+      "geometry 2 2\n0 1e5\n",            // partial numeric token
+      "geometry 2 2\nname\n0\n",          // missing name value
+      "geometry 2 2\nname a b\n0\n",      // trailing name token
+      "geometry 2 2\nname a\nname b\n0\n",  // duplicate name
+      "geometry 2 2\n",                   // no addresses
+      "# nothing\n",                      // missing geometry
+  };
+  for (const std::string& text : bad) {
+    std::string batch_err, stream_err;
+    try {
+      read_trace_string(text);
+    } catch (const std::invalid_argument& e) {
+      batch_err = e.what();
+    }
+    try {
+      stream_read(text, 3);
+    } catch (const std::invalid_argument& e) {
+      stream_err = e.what();
+    }
+    ASSERT_FALSE(batch_err.empty()) << text;
+    EXPECT_EQ(stream_err, batch_err) << text;
+  }
+}
+
+TEST(TraceReader, MatchesReadTraceOnGeneratedSuite) {
+  for (const auto& t : standard_suite({8, 8})) {
+    const std::string text = write_trace_string(t);
+    const auto got = stream_read(text, 64);
+    EXPECT_EQ(got.linear(), t.linear()) << t.name();
+    EXPECT_EQ(got.name(), t.name());
+  }
+}
+
+TEST(ReadTraceCompressed, FactorsWithoutMaterializing) {
+  const std::vector<std::uint32_t> period{0, 1, 2, 3, 8, 9, 10, 11};
+  std::ostringstream os;
+  os << "geometry 8 8\nname looped\n";
+  for (int r = 0; r < 500; ++r) {
+    for (std::uint32_t v : period) os << v << " ";
+    os << "\n";
+  }
+  std::istringstream in(os.str());
+  const CompressedTrace ct = read_trace_compressed(in, 128);
+  EXPECT_EQ(ct.period, period);
+  EXPECT_EQ(ct.repeats, 500u);
+  EXPECT_EQ(ct.name, "looped");
+  EXPECT_EQ(ct.geometry, (ArrayGeometry{8, 8}));
+  // Same factorization as materialize-then-compress.
+  std::istringstream in2(os.str());
+  const CompressedTrace batch = compress_periodic(read_trace(in2));
+  EXPECT_EQ(ct.period, batch.period);
+  EXPECT_EQ(ct.repeats, batch.repeats);
+}
+
+TEST(ReadTraceCompressed, FileRoundTrip) {
+  const auto t = transpose_read({8, 4});
+  const std::string path = ::testing::TempDir() + "stream_io_compressed.trace";
+  write_trace_file(path, t);
+  const CompressedTrace ct = read_trace_compressed_file(path);
+  EXPECT_EQ(ct.expand().linear(), t.linear());
+  std::remove(path.c_str());
+  EXPECT_THROW(read_trace_compressed_file(path), std::runtime_error);
+}
+
+LackeyImportOptions geom_opt(std::size_t w, std::size_t h) {
+  LackeyImportOptions opt;
+  opt.geometry = {w, h};
+  return opt;
+}
+
+AddressTrace import_text(const std::string& text, const LackeyImportOptions& opt) {
+  std::istringstream in(text);
+  return import_lackey(in, opt);
+}
+
+TEST(LackeyImport, ParsesLoadsStoresAndSkipsChatter) {
+  const std::string log =
+      "==1234== Lackey, an example Valgrind tool\n"
+      "I  0x40001000,4\n"
+      " L 40100000,4\n"
+      " L 0x40100004,4\n"
+      " S 40100008,8\n"
+      "\n"
+      " M 4010000c,4\n"
+      "==1234== done\n";
+  const auto t = import_text(log, geom_opt(4, 4));
+  // Instruction fetch excluded by default; base = first data address.
+  EXPECT_EQ(t.linear(), (std::vector<std::uint32_t>{0, 1, 2, 3}));
+  EXPECT_EQ(t.geometry(), (ArrayGeometry{4, 4}));
+}
+
+TEST(LackeyImport, KindsFilterSelectsMarkers) {
+  const std::string log =
+      "I 1000,4\n L 2000,4\n S 2004,4\n M 2008,4\n";
+  LackeyImportOptions opt = geom_opt(8, 8);
+  opt.kinds = "S";
+  EXPECT_EQ(import_text(log, opt).linear(), (std::vector<std::uint32_t>{0}));
+  opt.kinds = "LS";
+  EXPECT_EQ(import_text(log, opt).linear(), (std::vector<std::uint32_t>{0, 1}));
+  opt.kinds = "I";
+  EXPECT_EQ(import_text(log, opt).linear(), (std::vector<std::uint32_t>{0}));
+}
+
+TEST(LackeyImport, ExplicitBaseAndWordSize) {
+  LackeyImportOptions opt = geom_opt(4, 4);
+  opt.auto_base = false;
+  opt.base = 0x2000;
+  opt.word_bytes = 8;
+  // 0x2000 -> word 0, 0x2008 -> word 1, 0x200c folds onto word 1.
+  const auto t = import_text(" L 2000,4\n L 2008,4\n L 200c,4\n", opt);
+  EXPECT_EQ(t.linear(), (std::vector<std::uint32_t>{0, 1, 1}));
+}
+
+TEST(LackeyImport, NameAndTraceIoRoundTrip) {
+  LackeyImportOptions opt = geom_opt(4, 4);
+  opt.name = "imported";
+  const auto t = import_text(" L 1000,4\n L 1004,4\n", opt);
+  EXPECT_EQ(t.name(), "imported");
+  const auto back = read_trace_string(write_trace_string(t));
+  EXPECT_EQ(back.linear(), t.linear());
+  EXPECT_EQ(back.name(), t.name());
+}
+
+TEST(LackeyImport, ErrorsCarryLineNumbers) {
+  const struct {
+    const char* log;
+    const char* what;
+  } cases[] = {
+      {" L zz,4\n", "expected hex address"},
+      {" L 1000 4\n", "expected ',<size>'"},
+      {" L 1000,\n", "expected ',<size>'"},
+      {" L 1000,4 junk\n", "trailing token"},
+      {" X 1000,4\n", "unrecognized line"},
+  };
+  for (const auto& c : cases) {
+    try {
+      import_text(std::string("I 500,4\n") + c.log, geom_opt(8, 8));
+      FAIL() << c.log;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(c.what), std::string::npos) << e.what();
+      EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+    }
+  }
+}
+
+TEST(LackeyImport, RejectsOutOfArrayAndBelowBase) {
+  try {
+    import_text(" L 1000,4\n L 9000,4\n", geom_opt(2, 2));
+    FAIL() << "expected out-of-array failure";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("outside the 2x2 array"), std::string::npos)
+        << e.what();
+  }
+  try {
+    import_text(" L 1000,4\n L 0800,4\n", geom_opt(8, 8));
+    FAIL() << "expected below-base failure";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("below the base"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(LackeyImport, RejectsBadOptionsAndEmptyResult) {
+  EXPECT_THROW(import_text(" L 0,4\n", geom_opt(0, 4)), std::invalid_argument);
+  LackeyImportOptions bad_word = geom_opt(4, 4);
+  bad_word.word_bytes = 0;
+  EXPECT_THROW(import_text(" L 0,4\n", bad_word), std::invalid_argument);
+  LackeyImportOptions bad_kinds = geom_opt(4, 4);
+  bad_kinds.kinds = "LX";
+  EXPECT_THROW(import_text(" L 0,4\n", bad_kinds), std::invalid_argument);
+  // A log with only instruction fetches has no matching accesses under the
+  // default LSM filter.
+  EXPECT_THROW(import_text("I 1000,4\n", geom_opt(4, 4)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace addm::seq

@@ -86,6 +86,50 @@ TEST(TraceIo, RejectsSignedAddressTokens) {
   }
 }
 
+TEST(TraceIo, RejectsDuplicateName) {
+  // `name` used to silently accept a second directive (last one won) while
+  // `geometry` rejected duplicates; the two directives now validate alike.
+  try {
+    read_trace_string("geometry 2 2\nname a\nname b\n0\n");
+    FAIL() << "expected parse failure";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate name"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+  }
+}
+
+TEST(TraceIo, RejectsTrailingNameTokens) {
+  // Trailing tokens after the identifier used to be silently dropped.
+  try {
+    read_trace_string("geometry 2 2\nname demo junk\n0\n");
+    FAIL() << "expected parse failure";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("trailing token 'junk'"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+  }
+}
+
+TEST(TraceIo, RejectsMissingNameValue) {
+  try {
+    read_trace_string("geometry 2 2\nname\n0\n");
+    FAIL() << "expected parse failure";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("expected 'name <identifier>'"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TraceIo, NameCommentAndPlacementStillAccepted) {
+  // A comment after the identifier is not a trailing token, and the
+  // directive may still appear after address lines.
+  const auto t = read_trace_string("geometry 2 2\n0 1\nname late # ok\n2\n");
+  EXPECT_EQ(t.name(), "late");
+  EXPECT_EQ(t.linear(), (std::vector<std::uint32_t>{0, 1, 2}));
+}
+
 TEST(TraceIo, RejectsEmptyTrace) {
   EXPECT_THROW(read_trace_string("geometry 2 2\n"), std::invalid_argument);
 }
