@@ -1,0 +1,189 @@
+// Exploration-as-a-service throughput: the cost of N repeated exploration
+// requests paid as N cold CLI-style runs (every invocation a fresh process
+// image: empty memo table, every trace re-evaluated) versus N sequential
+// requests against one warm addm_serve daemon (a real Server on a unix
+// socket, driven by the real ServeClient) whose shared memo table pays the
+// evaluation cost exactly once.
+//
+// The daemon is a latency optimization, never a result change: every
+// served report is byte-compared against the cold run's report before any
+// timing is reported.
+//
+// Emits BENCH_serve.json into the working directory: per-request seconds
+// for both paths plus the steady-state speedup (cold cost / mean warm
+// request cost after the first).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "common.hpp"
+#include "core/batch_explorer.hpp"
+#include "seq/workloads.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+using namespace addm;
+
+constexpr std::size_t kSuiteScales = 2;  // 18 traces over 8x8 and 16x16
+constexpr std::size_t kRequests = 6;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// One cold CLI-style run: a fresh BatchExplorer (the per-process state a
+/// new addm_explore invocation would build) exploring the whole suite.
+std::string cold_run(double* seconds = nullptr) {
+  const auto t0 = std::chrono::steady_clock::now();
+  core::BatchExplorer explorer{core::BatchOptions{}};
+  const core::BatchResult result =
+      explorer.run(seq::scaled_suite({8, 8}, kSuiteScales));
+  const std::string report = core::batch_report_csv(result);
+  if (seconds) *seconds = seconds_since(t0);
+  return report;
+}
+
+/// A live daemon on a unix socket in the temp directory.
+struct BenchDaemon {
+  serve::ExploreService service;
+  std::string socket_path;
+  serve::Server server;
+  std::thread thread;
+
+  static serve::ServerOptions options_for(const std::string& path) {
+    serve::ServerOptions vo;
+    vo.unix_path = path;
+    vo.quiet = true;
+    return vo;
+  }
+
+  BenchDaemon()
+      : service(serve::ServiceOptions{}),
+        socket_path((std::filesystem::temp_directory_path() /
+                     ("addm_serve_bench_" + std::to_string(getpid()) + ".sock"))
+                        .string()),
+        server(service, options_for(socket_path)) {
+    std::string error;
+    if (!server.start(error)) {
+      std::fprintf(stderr, "bench daemon failed to start: %s\n", error.c_str());
+      std::exit(1);
+    }
+    thread = std::thread([this] { server.run(); });
+  }
+
+  ~BenchDaemon() {
+    server.request_stop();
+    thread.join();
+  }
+
+  /// One request over a fresh connection (the addm_client pattern).
+  std::string request(double* seconds = nullptr) {
+    const auto t0 = std::chrono::steady_clock::now();
+    serve::ServeClient client;
+    std::string error;
+    if (!client.connect_unix(socket_path, error)) {
+      std::fprintf(stderr, "bench client: %s\n", error.c_str());
+      std::exit(1);
+    }
+    serve::ExploreRequest req;
+    req.suite_scales = kSuiteScales;
+    serve::ServeClient::Result result;
+    if (!client.explore(req, result, error) || !result.ok) {
+      std::fprintf(stderr, "bench request failed: %s%s\n", error.c_str(),
+                   result.error.message.c_str());
+      std::exit(1);
+    }
+    if (seconds) *seconds = seconds_since(t0);
+    return result.body;
+  }
+};
+
+void print_table_and_json() {
+  bench::print_header(
+      "exploration-as-a-service: N cold CLI-style runs vs N sequential\n"
+      "requests against one warm addm_serve daemon (byte-identical reports)");
+
+  // Cold path: every request pays the full evaluation cost.
+  std::vector<double> cold_seconds(kRequests);
+  std::string cold_report;
+  for (std::size_t i = 0; i < kRequests; ++i)
+    cold_report = cold_run(&cold_seconds[i]);
+
+  // Warm path: one daemon, N sequential requests; request 0 fills the memo
+  // table, the rest are served from it.
+  std::vector<double> warm_seconds(kRequests);
+  {
+    BenchDaemon daemon;
+    for (std::size_t i = 0; i < kRequests; ++i) {
+      const std::string body = daemon.request(&warm_seconds[i]);
+      if (body != cold_report) {
+        std::fprintf(stderr,
+                     "FATAL: served report diverged from the cold run\n");
+        std::exit(1);
+      }
+    }
+  }
+
+  std::printf("%-10s %14s %18s\n", "request", "cold-cli(s)", "warm-daemon(s)");
+  double cold_total = 0.0, warm_steady = 0.0;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    std::printf("%-10zu %14.3f %18.3f\n", i, cold_seconds[i], warm_seconds[i]);
+    cold_total += cold_seconds[i];
+    if (i > 0) warm_steady += warm_seconds[i];
+  }
+  const double cold_mean = cold_total / kRequests;
+  const double warm_mean = warm_steady / (kRequests - 1);
+  const double speedup = warm_mean > 0 ? cold_mean / warm_mean : 0.0;
+  std::printf("\nmean cold %.3fs, mean warm (after first) %.4fs -> %.0fx\n\n",
+              cold_mean, warm_mean, speedup);
+
+  std::FILE* f = std::fopen("BENCH_serve.json", "w");
+  if (!f) return;
+  std::fprintf(f, "{\n  \"bench\": \"serve_throughput\",\n");
+  std::fprintf(f, "  \"suite_scales\": %zu,\n  \"requests\": %zu,\n",
+               kSuiteScales, kRequests);
+  std::fprintf(f, "  \"reports_byte_identical\": true,\n");
+  std::fprintf(f, "  \"cold_seconds\": [");
+  for (std::size_t i = 0; i < kRequests; ++i)
+    std::fprintf(f, "%s%.6f", i ? ", " : "", cold_seconds[i]);
+  std::fprintf(f, "],\n  \"warm_seconds\": [");
+  for (std::size_t i = 0; i < kRequests; ++i)
+    std::fprintf(f, "%s%.6f", i ? ", " : "", warm_seconds[i]);
+  std::fprintf(f, "],\n");
+  std::fprintf(f, "  \"mean_cold\": %.6f,\n  \"mean_warm_after_first\": %.6f,\n",
+               cold_mean, warm_mean);
+  std::fprintf(f, "  \"steady_state_speedup\": %.1f\n}\n", speedup);
+  std::fclose(f);
+  std::printf("wrote BENCH_serve.json (%zu requests per path)\n\n", kRequests);
+}
+
+void BM_ColdCliRun(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(cold_run());
+}
+BENCHMARK(BM_ColdCliRun)->Unit(benchmark::kMillisecond);
+
+void BM_WarmDaemonRequest(benchmark::State& state) {
+  static BenchDaemon* daemon = new BenchDaemon();  // warm across iterations
+  daemon->request();                               // ensure the memo is hot
+  for (auto _ : state) benchmark::DoNotOptimize(daemon->request());
+}
+BENCHMARK(BM_WarmDaemonRequest)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table_and_json();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -11,7 +11,7 @@ bindir=${1:?usage: check_docs_flags.sh BUILD_DIR (containing the addm tools)}
 repo=$(cd "$(dirname "$0")/.." && pwd)
 
 help_flags=$(
-  for tool in addm_explore addm_trace_gen addm_trace_import addm_merge addm_cache; do
+  for tool in addm_explore addm_trace_gen addm_trace_import addm_merge addm_cache addm_serve addm_client; do
     "$bindir/$tool" --help 2>&1
   done | grep -oE -- '--[a-z][a-z0-9-]*' | sort -u
 )

@@ -95,6 +95,18 @@ struct BatchExplorer::Impl {
   /// persistent cache directory: traces resolving to these count as disk
   /// hits, independent of scheduling.
   std::unordered_set<std::uint64_t> disk_keys;
+  /// Deferred-flush state (BatchOptions::defer_disk_flush): successful
+  /// evaluations and warm-start hit counts awaiting flush_disk(), guarded
+  /// by `mu`.  pending_keys mirrors pending_entries so a key is never
+  /// queued twice across runs.
+  std::vector<EvalCacheEntry> pending_entries;
+  std::unordered_set<std::uint64_t> pending_keys;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t> pending_hits;
+  /// Serializes every write this process makes to the cache directory
+  /// (store_batch, record_hits, budget prune): the eval-cache maintenance
+  /// operations assume no concurrent writer, and the serve daemon calls
+  /// run()/flush_disk() from several threads.
+  std::mutex flush_mu;
 };
 
 namespace {
@@ -120,9 +132,50 @@ void BatchExplorer::clear_cache() {
   impl_->disk_keys.clear();
 }
 
+std::size_t BatchExplorer::pending_flush() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  return impl_->pending_entries.size();
+}
+
+BatchExplorer::FlushStats BatchExplorer::flush_disk() {
+  FlushStats stats;
+  if (opt_.cache_dir.empty() || !opt_.memoize) return stats;
+  // One writer at a time: flush_mu serializes this process's store/record/
+  // prune sequence so the budget prune never runs under a concurrent write.
+  std::lock_guard<std::mutex> flush_lk(impl_->flush_mu);
+  std::vector<EvalCacheEntry> batch;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t> hits;
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    batch.swap(impl_->pending_entries);
+    impl_->pending_keys.clear();
+    hits.swap(impl_->pending_hits);
+  }
+  EvalCacheDir store(opt_.cache_dir);
+  if (!batch.empty()) stats.stored = store.store_batch(batch);
+  if (!hits.empty()) {
+    std::vector<std::pair<EvalCacheKey, std::uint64_t>> credit;
+    credit.reserve(hits.size());
+    for (const auto& [key, count] : hits)
+      credit.push_back({{key.first, key.second}, count});
+    store.record_hits(credit);
+  }
+  if (opt_.cache_budget_bytes != 0 && (stats.stored != 0 || !hits.empty())) {
+    const EvalCacheDir::MaintenanceStats pruned =
+        store.prune(UINT64_MAX, opt_.cache_budget_bytes);
+    if (pruned.ok) stats.evicted = pruned.evicted;
+  }
+  return stats;
+}
+
 BatchResult BatchExplorer::run(const std::vector<seq::AddressTrace>& traces) {
+  return run(traces, opt_.explore);
+}
+
+BatchResult BatchExplorer::run(const std::vector<seq::AddressTrace>& traces,
+                               const ExploreOptions& explore) {
   const auto t0 = std::chrono::steady_clock::now();
-  const std::uint64_t opt_fp = options_fingerprint(opt_.explore);
+  const std::uint64_t opt_fp = options_fingerprint(explore);
   const bool use_disk = opt_.memoize && !opt_.cache_dir.empty();
 
   BatchResult result;
@@ -167,8 +220,8 @@ BatchResult BatchExplorer::run(const std::vector<seq::AddressTrace>& traces) {
   // budget / inner workers, so outer × inner never oversubscribes.  Pure
   // scheduling — fingerprints ignore arch_threads and every split yields
   // byte-identical entries.
-  const ThreadSplit split = split_threads(opt_.threads, opt_.explore.arch_threads);
-  ExploreOptions worker_opt = opt_.explore;
+  const ThreadSplit split = split_threads(opt_.threads, explore.arch_threads);
+  ExploreOptions worker_opt = explore;
   worker_opt.arch_threads = split.inner;
 
   std::mutex stats_mu;
@@ -248,7 +301,26 @@ BatchResult BatchExplorer::run(const std::vector<seq::AddressTrace>& traces) {
   // to their entries (prune's eviction priority feeds on them), and when a
   // byte budget is configured the directory is pruned back under it — the
   // flush-time enforcement that keeps a bounded directory bounded.
-  if (use_disk) {
+  if (use_disk && opt_.defer_disk_flush) {
+    // Daemon mode: queue this run's successes and hit counts for the next
+    // flush_disk() instead of writing here, so a long-lived process decides
+    // when (and under which lock) the directory is touched.
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    for (const auto& [trace_fp, outcome] : fresh) {
+      const std::uint64_t key = combined_key(trace_fp, opt_fp);
+      if (!impl_->pending_keys.insert(key).second) continue;
+      EvalCacheEntry e;
+      e.key = {trace_fp, opt_fp};
+      e.points = outcome->points;
+      e.pareto = outcome->pareto;
+      impl_->pending_entries.push_back(std::move(e));
+    }
+    for (const auto& [trace_fp, count] : disk_hit_counts)
+      impl_->pending_hits[{trace_fp, opt_fp}] += count;
+  } else if (use_disk) {
+    // flush_mu: concurrent run()s must not interleave their store/record/
+    // prune sequences (prune assumes no concurrent writer in-process too).
+    std::lock_guard<std::mutex> flush_lk(impl_->flush_mu);
     EvalCacheDir store(opt_.cache_dir);
     if (!fresh.empty()) {
       std::vector<EvalCacheEntry> batch;

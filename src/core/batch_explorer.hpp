@@ -55,6 +55,14 @@ struct BatchOptions {
   /// bounded across runs.  Lifecycle-only: it never affects results and is
   /// not fingerprinted.  Requires `cache_dir`.
   std::uint64_t cache_budget_bytes = 0;
+  /// Daemon mode: when true, run() never writes the cache directory itself.
+  /// Newly computed results and warm-start hit counts accumulate in memory
+  /// (pending_flush() reports how many) until flush_disk() persists them —
+  /// one serialized writer, which is what lets a long-lived process run
+  /// explorations concurrently while honoring the eval-cache maintenance
+  /// contract ("compact/prune assume no concurrent writer").  Requires
+  /// `cache_dir`; without one the flag is inert.
+  bool defer_disk_flush = false;
 };
 
 /// Per-trace exploration outcome, in input order.  Plain value type: every
@@ -96,18 +104,50 @@ class BatchExplorer {
 
   const BatchOptions& options() const { return opt_; }
 
-  /// Explores every trace.  Thread-safe with respect to the internal cache;
-  /// not reentrant (one run() at a time per BatchExplorer).  With a
-  /// cache_dir configured, every run() probes the store for the input keys
-  /// it does not already hold in memory and flushes newly computed results;
-  /// disk I/O errors degrade to cache misses or unsaved entries, never
-  /// failures.
+  /// Explores every trace with `options().explore`.  With a cache_dir
+  /// configured, every run() probes the store for the input keys it does
+  /// not already hold in memory and flushes newly computed results; disk
+  /// I/O errors degrade to cache misses or unsaved entries, never failures.
+  ///
+  /// Concurrency: run() may be called from several threads at once — the
+  /// memo table is shared (two racing identical traces evaluate once), and
+  /// this process's disk writes are serialized internally.  Each concurrent
+  /// run() builds its own worker pool against the full `threads` budget, so
+  /// the caller owns not oversubscribing across simultaneous runs (the
+  /// serve daemon bounds this with its request-thread count).
   BatchResult run(const std::vector<seq::AddressTrace>& traces);
+
+  /// run() with per-call exploration options — the serve daemon's path,
+  /// where every request carries its own ExploreOptions but all requests
+  /// share one memo table.  Results for different option sets coexist in
+  /// the memo keyed by (trace, options) fingerprints, exactly like the
+  /// persistent cache.  `explore.arch_threads` is split against
+  /// `options().threads` as usual.
+  BatchResult run(const std::vector<seq::AddressTrace>& traces,
+                  const ExploreOptions& explore);
+
+  /// Outcome of one flush_disk() call.
+  struct FlushStats {
+    std::size_t stored = 0;   ///< pending entries persisted this call
+    std::size_t evicted = 0;  ///< entries pruned by cache_budget_bytes
+  };
+
+  /// Persists everything accumulated under `defer_disk_flush`: stores the
+  /// pending entry batch, credits pending warm-start hits, and — when
+  /// cache_budget_bytes is set — prunes the directory back under budget.
+  /// Serialized against itself (one writer at a time) and safe to call
+  /// concurrently with run()s; a no-op without a cache_dir or pending work.
+  FlushStats flush_disk();
+
+  /// Entries computed but not yet persisted (only grows when
+  /// defer_disk_flush is set).
+  std::size_t pending_flush() const;
 
   /// Number of keys in the in-memory memo table (disk-loaded included).
   std::size_t cache_size() const;
   /// Drops the in-memory memo table.  The persistent cache directory is
-  /// untouched; the next run() warm-starts from it again.
+  /// untouched; the next run() warm-starts from it again.  Not safe
+  /// concurrently with run().
   void clear_cache();
 
  private:

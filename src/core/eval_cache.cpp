@@ -884,4 +884,21 @@ EvalCacheDir::MergeStats EvalCacheDir::merge(const std::string& dst,
   return {out.copied, out.failed};
 }
 
+std::string eval_cache_stats_json(const EvalCacheDir::DirStats& s) {
+  std::string out = "{\n";
+  out += "  \"index_version\": " + std::to_string(s.index_version) + ",\n";
+  out += "  \"entries\": " + std::to_string(s.entries) + ",\n";
+  out += "  \"payload_files\": " + std::to_string(s.payload_files) + ",\n";
+  out += "  \"missing_payloads\": " + std::to_string(s.missing_payloads) + ",\n";
+  out += "  \"orphan_payloads\": " + std::to_string(s.orphan_payloads) + ",\n";
+  out += "  \"stale_files\": " + std::to_string(s.stale_files) + ",\n";
+  out += "  \"index_damage\": " + std::to_string(s.index_damage) + ",\n";
+  out += "  \"recorded_bytes\": " + std::to_string(s.recorded_bytes) + ",\n";
+  out += "  \"payload_bytes\": " + std::to_string(s.payload_bytes) + ",\n";
+  out += "  \"hits\": " + std::to_string(s.hits) + ",\n";
+  out += "  \"max_generation\": " + std::to_string(s.max_generation) + "\n";
+  out += "}\n";
+  return out;
+}
+
 }  // namespace addm::core

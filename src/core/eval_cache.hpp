@@ -247,4 +247,11 @@ class EvalCacheDir {
   std::string dir_;
 };
 
+/// Fixed-order JSON rendering of DirStats — the exact bytes emitted by
+/// `addm_cache stats --json` and embedded in the serve daemon's
+/// `admin stats` reply (golden-checked against
+/// tests/golden/cache_stats_empty.json).  Field order and formatting are
+/// part of the format.
+std::string eval_cache_stats_json(const EvalCacheDir::DirStats& s);
+
 }  // namespace addm::core

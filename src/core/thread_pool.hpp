@@ -79,6 +79,15 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  /// Tasks queued plus tasks currently executing.  A momentary snapshot —
+  /// by the time the caller acts it may be stale — so it is only suitable
+  /// for liveness probes (the serve daemon's idle-timeout check), never for
+  /// synchronization; use wait_idle() for that.
+  std::size_t busy() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return queue_.size() + running_;
+  }
+
   void submit(std::function<void()> task) {
     {
       std::lock_guard<std::mutex> lk(mu_);
@@ -137,7 +146,7 @@ class ThreadPool {
     }
   }
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::condition_variable idle_cv_;
   std::deque<std::function<void()>> queue_;

@@ -1,0 +1,86 @@
+// Client side of the addm_serve protocol: one blocking connection, one
+// request/reply exchange per call.  Used by tools/addm_client, the
+// serve-throughput benchmark, and the in-process server tests.
+//
+// Two transports (Unix-domain path or TCP loopback) × two wire modes
+// (binary framing, default; JSON lines via set_json_mode) — the reply is
+// identical either way because both modes are views of the same request
+// model (serve/protocol.hpp).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "serve/protocol.hpp"
+
+namespace addm::serve {
+
+class ServeClient {
+ public:
+  ServeClient() = default;
+  ~ServeClient();
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+  ServeClient(ServeClient&& other) noexcept { *this = std::move(other); }
+  ServeClient& operator=(ServeClient&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      json_mode_ = other.json_mode_;
+      rbuf_ = std::move(other.rbuf_);
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  /// Closes the connection (destructor does this too).
+  void close();
+
+  /// Connects over a Unix-domain socket / TCP loopback.  Returns false
+  /// with `error` on failure; the client is then unusable.
+  bool connect_unix(const std::string& path, std::string& error);
+  bool connect_tcp(const std::string& host, int port, std::string& error);
+
+  /// Switches this connection to the JSON-lines fallback mode.  Must be
+  /// called before the first request (the server locks the mode onto the
+  /// first byte it sees).
+  void set_json_mode(bool on) { json_mode_ = on; }
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Result of one request.  On ok, `body` is the full report (explore) or
+  /// the command output (admin); on !ok, `error` carries the server's
+  /// framed error.  Transport failures are reported separately through the
+  /// bool return + `transport_error`.
+  struct Result {
+    bool ok = false;
+    ErrorInfo error;
+    std::string body;
+    ExploreSummary summary;  ///< explore only
+  };
+
+  /// Runs one explore request to completion (streams every kChunk into
+  /// `out.body`).  Returns false only on a transport/protocol failure.
+  bool explore(const ExploreRequest& req, Result& out,
+               std::string& transport_error);
+
+  /// Runs one admin command ("stats", "compact", "prune E B", "flush",
+  /// "shutdown").
+  bool admin(std::string_view command, Result& out,
+             std::string& transport_error);
+
+  /// Liveness probe; fills `banner` from the kPong payload.
+  bool ping(std::string& banner, std::string& transport_error);
+
+ private:
+  bool send_all(std::string_view data, std::string& error);
+  bool read_frame(Frame& out, std::string& error);
+  bool read_json_line(std::string& out, std::string& error);
+
+  int fd_ = -1;
+  bool json_mode_ = false;
+  std::string rbuf_;
+};
+
+}  // namespace addm::serve

@@ -1,0 +1,421 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "core/thread_pool.hpp"
+
+namespace addm::serve {
+
+namespace {
+
+std::uint64_t now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Full write with MSG_NOSIGNAL: a peer that disappeared mid-reply must
+// surface as a return value on this connection, never as SIGPIPE to the
+// daemon.  The socket carries a send timeout (set at accept), so a peer
+// that stops reading cannot wedge a worker forever either.
+bool write_all(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// Report bodies can exceed a sensible single write; kChunk slices keep the
+// peer's buffer requirements flat and let it stream the body to disk.
+constexpr std::size_t kChunkBytes = 1u << 20;
+
+}  // namespace
+
+struct Server::Conn {
+  int fd = -1;
+  bool write_failed = false;
+  bool send(std::string_view bytes) {
+    if (write_failed) return false;
+    if (!write_all(fd, bytes)) write_failed = true;
+    return !write_failed;
+  }
+};
+
+Server::Server(ExploreService& service, ServerOptions opt)
+    : service_(service), opt_(std::move(opt)) {}
+
+Server::~Server() {
+  close_listener();
+  if (stop_pipe_[0] >= 0) ::close(stop_pipe_[0]);
+  if (stop_pipe_[1] >= 0) ::close(stop_pipe_[1]);
+}
+
+void Server::close_listener() {
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (unlink_on_close_ && !opt_.unix_path.empty()) {
+    ::unlink(opt_.unix_path.c_str());
+    unlink_on_close_ = false;
+  }
+}
+
+bool Server::start(std::string& error) {
+  if (::pipe(stop_pipe_) != 0) {
+    error = std::string("pipe: ") + std::strerror(errno);
+    return false;
+  }
+
+  if (!opt_.unix_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (opt_.unix_path.size() >= sizeof addr.sun_path) {
+      error = "socket path too long: " + opt_.unix_path;
+      return false;
+    }
+    std::strncpy(addr.sun_path, opt_.unix_path.c_str(), sizeof addr.sun_path - 1);
+
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      error = std::string("socket: ") + std::strerror(errno);
+      return false;
+    }
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      if (errno != EADDRINUSE) {
+        error = "bind " + opt_.unix_path + ": " + std::strerror(errno);
+        return false;
+      }
+      // Stale-socket recovery: a path left behind by a dead daemon accepts
+      // no connections; a live daemon does.  Only the former is unlinked.
+      const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      const bool live =
+          probe >= 0 &&
+          ::connect(probe, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0;
+      if (probe >= 0) ::close(probe);
+      if (live) {
+        error = opt_.unix_path + ": a daemon is already listening";
+        return false;
+      }
+      ::unlink(opt_.unix_path.c_str());
+      if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+        error = "bind " + opt_.unix_path + ": " + std::strerror(errno);
+        return false;
+      }
+    }
+    unlink_on_close_ = true;
+  } else {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      error = std::string("socket: ") + std::strerror(errno);
+      return false;
+    }
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(opt_.tcp_port));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      error = "bind 127.0.0.1:" + std::to_string(opt_.tcp_port) + ": " +
+              std::strerror(errno);
+      return false;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0)
+      bound_port_ = ntohs(bound.sin_port);
+  }
+
+  if (::listen(listen_fd_, 64) != 0) {
+    error = std::string("listen: ") + std::strerror(errno);
+    return false;
+  }
+  if (!opt_.quiet) {
+    if (!opt_.unix_path.empty())
+      std::fprintf(stderr, "addm_serve: listening on %s\n", opt_.unix_path.c_str());
+    else
+      std::fprintf(stderr, "addm_serve: listening on 127.0.0.1:%d\n", bound_port_);
+  }
+  return true;
+}
+
+void Server::request_stop() {
+  // Async-signal-safe: one lock-free store plus one write(2).
+  stopping_.store(true, std::memory_order_relaxed);
+  if (stop_pipe_[1] >= 0) {
+    const char b = 's';
+    [[maybe_unused]] ssize_t n = ::write(stop_pipe_[1], &b, 1);
+  }
+}
+
+void Server::note_activity() {
+  last_activity_ms_.store(now_ms(), std::memory_order_relaxed);
+}
+
+int Server::run() {
+  core::ThreadPool pool(opt_.request_threads == 0 ? 1 : opt_.request_threads);
+  note_activity();
+
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {stop_pipe_[0], POLLIN, 0};
+    const int rc = ::poll(fds, 2, 250);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+
+    if (fds[0].revents & POLLIN) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd >= 0) {
+        timeval tv{60, 0};
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+        {
+          std::lock_guard<std::mutex> lk(conns_mu_);
+          conn_fds_.push_back(fd);
+        }
+        active_conns_.fetch_add(1, std::memory_order_relaxed);
+        note_activity();
+        pool.submit([this, fd] { handle_connection(fd); });
+      }
+    }
+
+    if (opt_.max_requests != 0 &&
+        service_.requests_served() >= opt_.max_requests)
+      break;
+
+    if (opt_.idle_timeout_seconds > 0 &&
+        active_conns_.load(std::memory_order_relaxed) == 0 &&
+        pool.busy() == 0) {
+      const std::uint64_t idle_ms =
+          now_ms() - last_activity_ms_.load(std::memory_order_relaxed);
+      if (idle_ms >= static_cast<std::uint64_t>(opt_.idle_timeout_seconds * 1000.0)) {
+        if (!opt_.quiet)
+          std::fprintf(stderr, "addm_serve: idle timeout, draining\n");
+        break;
+      }
+    }
+  }
+
+  // Drain: no new connections, wake idle readers, let in-flight requests
+  // finish and their replies flush, then persist pending cache state.
+  stopping_.store(true, std::memory_order_relaxed);
+  close_listener();
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RD);
+  }
+  try {
+    pool.wait_idle();
+  } catch (...) {
+    // Connection handlers catch their own failures; nothing should land
+    // here, but a drain must never terminate the daemon abnormally.
+  }
+  const auto flushed = service_.flush();
+  if (!opt_.quiet)
+    std::fprintf(stderr,
+                 "addm_serve: drained after %llu requests (%zu entries flushed)\n",
+                 static_cast<unsigned long long>(service_.requests_served()),
+                 flushed.stored);
+  return 0;
+}
+
+void Server::handle_connection(int fd) {
+  Conn c;
+  c.fd = fd;
+  char first = 0;
+  const ssize_t peeked = ::recv(fd, &first, 1, MSG_PEEK);
+  if (peeked == 1) {
+    // Mode selection: the binary framing's magic starts with 'A'; anything
+    // else is treated as a JSON line.
+    if (first == kFrameMagic[0])
+      serve_binary(c);
+    else
+      serve_json(c);
+  }
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    for (std::size_t i = 0; i < conn_fds_.size(); ++i) {
+      if (conn_fds_[i] == fd) {
+        conn_fds_[i] = conn_fds_.back();
+        conn_fds_.pop_back();
+        break;
+      }
+    }
+  }
+  ::close(fd);
+  active_conns_.fetch_sub(1, std::memory_order_relaxed);
+  note_activity();
+}
+
+void Server::serve_binary(Conn& c) {
+  std::string buf;
+  char tmp[64 * 1024];
+  for (;;) {
+    while (!buf.empty()) {
+      Frame frame;
+      std::size_t consumed = 0;
+      std::string why;
+      const DecodeStatus st = decode_frame(buf, frame, consumed, &why);
+      if (st == DecodeStatus::kNeedMore) break;
+      if (st == DecodeStatus::kMalformed) {
+        // One framed diagnosis, then close: after garbage there is no
+        // trustworthy frame boundary left to resynchronize on.
+        c.send(encode_frame(kError, encode_error({"malformed-frame", why})));
+        return;
+      }
+      buf.erase(0, consumed);
+      if (!dispatch_frame(c, frame)) return;
+    }
+    if (stopping_.load(std::memory_order_relaxed)) return;
+    const ssize_t n = ::recv(c.fd, tmp, sizeof tmp, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // EOF (including the drain's SHUT_RD) or error
+    }
+    buf.append(tmp, static_cast<std::size_t>(n));
+    note_activity();
+  }
+}
+
+bool Server::dispatch_frame(Conn& c, const Frame& frame) {
+  bool keep = true;
+  switch (frame.type) {
+    case kPing:
+      keep = c.send(encode_frame(kPong, service_.ping()));
+      break;
+    case kAdmin: {
+      std::string command = frame.payload;
+      while (!command.empty() &&
+             (command.back() == '\n' || command.back() == '\r'))
+        command.pop_back();
+      const auto out = service_.admin(command);
+      if (out.ok)
+        keep = c.send(encode_frame(kAdminDone, out.output));
+      else
+        keep = c.send(encode_frame(kError, encode_error(out.error)));
+      if (out.shutdown) {
+        request_stop();
+        keep = false;
+      }
+      break;
+    }
+    case kExplore: {
+      ExploreRequest req;
+      std::string why;
+      if (!parse_explore_request(frame.payload, req, why)) {
+        keep = c.send(encode_frame(kError, encode_error({"bad-request", why})));
+        break;
+      }
+      const auto out = service_.explore(req);
+      if (!out.ok) {
+        keep = c.send(encode_frame(kError, encode_error(out.error)));
+        break;
+      }
+      std::string_view body = out.report;
+      while (!body.empty() && keep) {
+        const std::size_t n = std::min(body.size(), kChunkBytes);
+        keep = c.send(encode_frame(kChunk, body.substr(0, n)));
+        body.remove_prefix(n);
+      }
+      if (keep) keep = c.send(encode_frame(kDone, encode_done(out.summary)));
+      break;
+    }
+    default:
+      keep = c.send(encode_frame(
+          kError, encode_error({"unsupported",
+                                "unexpected frame type " +
+                                    std::to_string(frame.type)})));
+      break;
+  }
+  if (opt_.max_requests != 0 && service_.requests_served() >= opt_.max_requests) {
+    request_stop();
+    keep = false;
+  }
+  return keep;
+}
+
+void Server::serve_json(Conn& c) {
+  std::string buf;
+  char tmp[64 * 1024];
+  for (;;) {
+    std::size_t eol;
+    while ((eol = buf.find('\n')) != std::string::npos) {
+      std::string line = buf.substr(0, eol);
+      buf.erase(0, eol + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      note_activity();
+
+      JsonRequest req;
+      std::string why;
+      if (!parse_json_request(line, req, why)) {
+        if (!c.send(json_error_reply({"bad-request", why}))) return;
+        continue;
+      }
+      bool keep = true;
+      switch (req.kind) {
+        case JsonRequestKind::kPing:
+          keep = c.send(json_pong_reply(service_.ping()));
+          break;
+        case JsonRequestKind::kAdmin: {
+          const auto out = service_.admin(req.admin_command);
+          keep = c.send(out.ok ? json_admin_reply(out.output)
+                               : json_error_reply(out.error));
+          if (out.shutdown) {
+            request_stop();
+            keep = false;
+          }
+          break;
+        }
+        case JsonRequestKind::kExplore: {
+          const auto out = service_.explore(req.explore);
+          keep = c.send(out.ok ? json_explore_reply(out.report, out.summary)
+                               : json_error_reply(out.error));
+          break;
+        }
+      }
+      if (opt_.max_requests != 0 &&
+          service_.requests_served() >= opt_.max_requests) {
+        request_stop();
+        keep = false;
+      }
+      if (!keep) return;
+    }
+    if (buf.size() > kMaxFramePayload) {
+      c.send(json_error_reply(
+          {"bad-request", "request line exceeds the 64 MiB cap"}));
+      return;
+    }
+    if (stopping_.load(std::memory_order_relaxed)) return;
+    const ssize_t n = ::recv(c.fd, tmp, sizeof tmp, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;
+    }
+    buf.append(tmp, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace addm::serve

@@ -53,25 +53,6 @@ void usage(const char* argv0) {
       << "  --help               this message\n";
 }
 
-std::string stats_json(const EvalCacheDir::DirStats& s) {
-  // Field order is part of the format: tests/golden/cache_stats_empty.json
-  // byte-compares this output.
-  std::string out = "{\n";
-  out += "  \"index_version\": " + std::to_string(s.index_version) + ",\n";
-  out += "  \"entries\": " + std::to_string(s.entries) + ",\n";
-  out += "  \"payload_files\": " + std::to_string(s.payload_files) + ",\n";
-  out += "  \"missing_payloads\": " + std::to_string(s.missing_payloads) + ",\n";
-  out += "  \"orphan_payloads\": " + std::to_string(s.orphan_payloads) + ",\n";
-  out += "  \"stale_files\": " + std::to_string(s.stale_files) + ",\n";
-  out += "  \"index_damage\": " + std::to_string(s.index_damage) + ",\n";
-  out += "  \"recorded_bytes\": " + std::to_string(s.recorded_bytes) + ",\n";
-  out += "  \"payload_bytes\": " + std::to_string(s.payload_bytes) + ",\n";
-  out += "  \"hits\": " + std::to_string(s.hits) + ",\n";
-  out += "  \"max_generation\": " + std::to_string(s.max_generation) + "\n";
-  out += "}\n";
-  return out;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -149,7 +130,7 @@ int main(int argc, char** argv) {
   if (command == "stats") {
     const EvalCacheDir::DirStats s = cache.stats();
     if (json) {
-      std::cout << stats_json(s);
+      std::cout << addm::core::eval_cache_stats_json(s);
       std::cout.flush();
       return std::cout ? 0 : 1;
     }
